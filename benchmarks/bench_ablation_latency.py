@@ -1,0 +1,74 @@
+"""Ablation — placement policy versus tail latency.
+
+Section II-B motivates load balancing with latency: "some storage devices
+may be overloaded ... and cannot serve incoming requests in a timely
+manner, thereby increasing the overall I/O latencies."  The AliCloud
+traces carry no response times, so this bench supplies the modeled
+counterpart: queue the fleet at 8 devices under each placement policy and
+measure the p50/p99 response times of the worst device.
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    DeviceServiceModel,
+    HashPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+    place_dataset,
+    simulate_device_latencies,
+)
+from repro.core import format_duration, format_table
+
+from conftest import run_once
+
+N_DEVICES = 8
+#: Service model tuned so the busiest device runs near saturation and the
+#: placement differences show up in the tail.
+MODEL = DeviceServiceModel(base_latency=300e-6, bandwidth=200e6, random_penalty=100e-6)
+
+
+def test_ablation_placement_latency(benchmark, ali):
+    policies = [
+        RoundRobinPlacement(N_DEVICES),
+        HashPlacement(N_DEVICES),
+        LeastLoadedPlacement(N_DEVICES),
+    ]
+
+    def compute():
+        out = {}
+        for policy in policies:
+            placement = place_dataset(ali, policy)
+            out[policy.name] = simulate_device_latencies(ali, placement, N_DEVICES, MODEL)
+        return out
+
+    reports = run_once(benchmark, compute)
+    print()
+    rows = []
+    for name, report in reports.items():
+        util = max(report.utilization.values())
+        rows.append(
+            [
+                name,
+                format_duration(report.overall_percentile(50)),
+                format_duration(report.overall_percentile(99)),
+                format_duration(report.worst_device_percentile(99)),
+                f"{util:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "p50", "p99", "worst-device p99", "max utilization"],
+            rows,
+            title=f"Ablation: placement -> latency on {N_DEVICES} devices",
+        )
+    )
+
+    ll = reports["least-loaded"]
+    # Load-aware placement keeps the worst device's tail no worse than the
+    # load-oblivious policies.
+    for name in ("round-robin", "hash"):
+        assert ll.worst_device_percentile(99) <= reports[name].worst_device_percentile(99) * 1.2
+    # Everyone's p50 is at least the bare service time.
+    for report in reports.values():
+        assert report.overall_percentile(50) >= MODEL.base_latency

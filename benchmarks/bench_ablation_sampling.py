@@ -1,0 +1,68 @@
+"""Ablation — DiskAccel-style representative sampling accuracy.
+
+The randomness metric's definition comes from DiskAccel [25], whose core
+idea is replaying representative intervals instead of whole traces.
+This bench selects k representative intervals per heavy volume, estimates
+two workload metrics (request count and write fraction) from the weighted
+sample, and compares against the full trace: accuracy improves with k
+while replaying a fraction of the trace.
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.trace import select_representatives, top_traffic_volume_ids
+
+from conftest import ALI_SCALE, run_once
+
+KS = (2, 4, 8, 16)
+
+
+def test_ablation_sampling_accuracy(benchmark, ali):
+    volumes = [ali[vid] for vid in top_traffic_volume_ids(ali, 4)]
+    interval = ALI_SCALE.duration / 64.0
+
+    def compute():
+        rows = []
+        for vol in volumes:
+            true_count = len(vol)
+            true_wfrac = vol.n_writes / max(len(vol), 1)
+            for k in KS:
+                sampled = select_representatives(vol, interval, k=k, seed=11)
+                est_count = sampled.estimate_total_requests()
+                reqs = sum(len(seg) for seg in sampled.intervals)
+                writes = sum(seg.n_writes for seg in sampled.intervals)
+                weighted_writes = sum(
+                    w * seg.n_writes for w, seg in zip(sampled.weights, sampled.intervals)
+                )
+                est_wfrac = weighted_writes / max(est_count, 1)
+                rows.append(
+                    (
+                        vol.volume_id,
+                        k,
+                        abs(est_count - true_count) / true_count,
+                        abs(est_wfrac - true_wfrac),
+                        sampled.speedup,
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print()
+    print(
+        format_table(
+            ["volume", "k", "count err", "write-frac err", "speedup"],
+            [[v, k, ce, we, s] for v, k, ce, we, s in rows],
+            title="Ablation: representative-interval sampling",
+        )
+    )
+
+    by_k = {k: [ce for _, kk, ce, _, _ in rows if kk == k] for k in KS}
+    # Count-estimate error shrinks as k grows, and k=16 is accurate.
+    assert np.mean(by_k[KS[-1]]) <= np.mean(by_k[KS[0]]) + 0.02
+    assert np.mean(by_k[16]) < 0.25
+    # Real speedup remains (fewer intervals replayed than exist).
+    assert all(s > 2 for _, _, _, _, s in rows)
+    # Write-fraction estimates are tight for the largest k.
+    wf_err = [we for _, k, _, we, _ in rows if k == 16]
+    assert np.mean(wf_err) < 0.15

@@ -1,0 +1,54 @@
+"""Figure 2 — cumulative distributions of I/O request sizes.
+
+Paper reference: small requests dominate both traces.  Per-request (Fig
+2a): 75% of AliCloud reads <= 32 KiB and writes <= 16 KiB; 75% of MSRC
+reads <= 64 KiB and writes <= 20 KiB.  Per-volume averages (Fig 2b): 75%
+of AliCloud average read/write sizes <= 39.1/34.4 KiB; MSRC <= 50.8/15.3
+KiB.
+"""
+
+from repro.core import format_cdf, format_bytes, request_size_cdf, volume_mean_size_cdf
+
+from conftest import run_once
+
+KIB = 1024
+
+
+def test_fig2a_request_size_cdf(benchmark, ali, msrc):
+    def compute():
+        return {
+            ("AliCloud", "read"): request_size_cdf(ali, "read"),
+            ("AliCloud", "write"): request_size_cdf(ali, "write"),
+            ("MSRC", "read"): request_size_cdf(msrc, "read"),
+            ("MSRC", "write"): request_size_cdf(msrc, "write"),
+        }
+
+    cdfs = run_once(benchmark, compute)
+    print()
+    for (trace, op), cdf in cdfs.items():
+        print(format_cdf(cdf, f"Fig2a {trace} {op} sizes", (25, 50, 75, 90, 95), format_bytes))
+
+    # Small requests dominate: 75th percentiles under 100 KiB everywhere.
+    for cdf in cdfs.values():
+        assert cdf.percentile(75) <= 100 * KIB
+    # AliCloud writes are the smallest mix (p75 <= 32 KiB, paper: 16 KiB).
+    assert cdfs[("AliCloud", "write")].percentile(75) <= 32 * KIB
+
+
+def test_fig2b_volume_mean_size_cdf(benchmark, ali, msrc):
+    def compute():
+        return {
+            ("AliCloud", "read"): volume_mean_size_cdf(ali, "read"),
+            ("AliCloud", "write"): volume_mean_size_cdf(ali, "write"),
+            ("MSRC", "read"): volume_mean_size_cdf(msrc, "read"),
+            ("MSRC", "write"): volume_mean_size_cdf(msrc, "write"),
+        }
+
+    cdfs = run_once(benchmark, compute)
+    print()
+    for (trace, op), cdf in cdfs.items():
+        print(format_cdf(cdf, f"Fig2b {trace} mean {op} size", (25, 50, 75, 90), format_bytes))
+
+    # Per-volume averages are small too (75th percentile < 128 KiB).
+    for cdf in cdfs.values():
+        assert cdf.percentile(75) <= 128 * KIB

@@ -1,0 +1,31 @@
+"""Figure 3 — cumulative distributions of numbers of active days.
+
+Paper reference: 15.7% of AliCloud volumes are active for only one day
+(short-lived cloud tasks); all 36 MSRC volumes are active on all 7 days.
+"""
+
+from repro.core import active_days_cdf, format_cdf
+
+from conftest import ALI_SCALE, MSRC_SCALE, run_once
+
+
+def test_fig3_active_days(benchmark, ali, msrc):
+    def compute():
+        return (
+            active_days_cdf(ali, day_seconds=ALI_SCALE.day_seconds, origin=0.0),
+            active_days_cdf(msrc, day_seconds=MSRC_SCALE.day_seconds, origin=0.0),
+        )
+
+    cdf_a, cdf_m = run_once(benchmark, compute)
+    print()
+    print(format_cdf(cdf_a, "Fig3 AliCloud active days", (5, 15.7, 25, 50, 100)))
+    print(format_cdf(cdf_m, "Fig3 MSRC active days", (5, 25, 50, 100)))
+    one_day_a = cdf_a(1.0) - cdf_a.fraction_below(1.0)
+    print(f"AliCloud volumes active exactly 1 day: {one_day_a:.1%} (paper: 15.7%)")
+    print(f"MSRC volumes active all {int(cdf_m.max)} days: {cdf_m.fraction_at_least(cdf_m.max):.1%} (paper: 100%)")
+
+    # Shape: a non-negligible short-lived population in AliCloud only.
+    assert one_day_a > 0.05
+    assert cdf_m.fraction_at_least(MSRC_SCALE.n_days) > 0.8
+    # Most AliCloud volumes are nonetheless active for most of the month.
+    assert cdf_a.fraction_at_least(ALI_SCALE.n_days * 0.9) > 0.5

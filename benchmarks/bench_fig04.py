@@ -1,0 +1,30 @@
+"""Figure 4 — cumulative distributions of write-to-read ratios.
+
+Paper reference: 91.5% of AliCloud volumes are write-dominant (ratio >
+1) and 42.4% exceed 100; only 53% (19/36) of MSRC volumes are
+write-dominant.
+"""
+
+from repro.core import format_cdf, write_read_ratio_cdf
+
+from conftest import run_once
+
+
+def test_fig4_write_read_ratios(benchmark, ali, msrc):
+    def compute():
+        return write_read_ratio_cdf(ali), write_read_ratio_cdf(msrc)
+
+    cdf_a, cdf_m = run_once(benchmark, compute)
+    print()
+    print(format_cdf(cdf_a, "Fig4 AliCloud W:R", (25, 50, 75, 90)))
+    print(format_cdf(cdf_m, "Fig4 MSRC W:R", (25, 50, 75, 90)))
+    frac_wd_a = cdf_a.fraction_above(1.0)
+    frac_wd_m = cdf_m.fraction_above(1.0)
+    frac_100_a = cdf_a.fraction_above(100.0)
+    print(f"Write-dominant volumes: AliCloud {frac_wd_a:.1%} (paper 91.5%), MSRC {frac_wd_m:.1%} (paper 53%)")
+    print(f"AliCloud volumes with W:R > 100: {frac_100_a:.1%} (paper 42.4%)")
+
+    assert frac_wd_a > 0.8
+    assert frac_100_a > 0.25
+    assert 0.3 < frac_wd_m < 0.85
+    assert frac_wd_a > frac_wd_m

@@ -1,0 +1,51 @@
+"""Figure 5 / Finding 1 — average and peak intensities of volumes.
+
+Paper reference: similar intensity distributions in both traces.  Only
+1.90% (AliCloud) and 2.78% (MSRC) of volumes exceed 100 req/s average;
+81.6% and 72.2% are below 10 req/s; medians 2.55 and 3.36 req/s; maximum
+peak intensities 4,926.8 and 4,633.6 req/s.
+"""
+
+import numpy as np
+
+from repro.core import average_intensity, peak_intensity
+
+from conftest import ALI_SCALE, MSRC_SCALE, run_once
+
+
+def test_fig5_intensities(benchmark, ali, msrc):
+    def compute():
+        out = {}
+        for name, ds, scale in (("AliCloud", ali, ALI_SCALE), ("MSRC", msrc, MSRC_SCALE)):
+            avg = np.array(
+                [average_intensity(v) for v in ds.volumes() if len(v) > 1]
+            )
+            avg = avg[np.isfinite(avg)]
+            peak = np.array(
+                [peak_intensity(v, scale.peak_interval) for v in ds.volumes() if len(v) > 1]
+            )
+            out[name] = (np.sort(avg)[::-1], np.sort(peak)[::-1])
+        return out
+
+    series = run_once(benchmark, compute)
+    print()
+    for name, (avg, peak) in series.items():
+        print(
+            f"Fig5 {name}: median avg {np.median(avg):.2f} req/s, "
+            f"frac<10 {np.mean(avg < 10):.1%}, frac>100 {np.mean(avg > 100):.1%}, "
+            f"max peak {peak.max():.0f} req/s"
+        )
+        # Print the sorted series the figure plots (downsampled).
+        idx = np.unique(np.linspace(0, len(avg) - 1, 10).astype(int))
+        print(f"  sorted avg series: {np.round(avg[idx], 2).tolist()}")
+
+    avg_a, peak_a = series["AliCloud"]
+    avg_m, peak_m = series["MSRC"]
+    # Similar load intensities: medians within one order of magnitude,
+    # most volumes below 100 req/s in both.
+    assert 0.1 <= np.median(avg_a) / np.median(avg_m) <= 10
+    assert np.mean(avg_a < 100) > 0.9
+    assert np.mean(avg_m < 100) > 0.9
+    # Peak intensities reach the hundreds-to-thousands range in both.
+    assert peak_a.max() > 100
+    assert peak_m.max() > 100

@@ -1,0 +1,50 @@
+"""Figure 6 + Table II / Findings 2-3 — burstiness ratios.
+
+Paper reference: 20.7% of AliCloud and 38.9% of MSRC volumes exceed a
+burstiness ratio of 100; AliCloud is more diverse (25.8% below 10 vs
+2.78%; 2.60% above 1,000 vs none).  Overall (fleet-aggregated) burstiness
+stays mild: 2.11 (AliCloud) vs 7.39 (MSRC), far below the bursty volumes.
+"""
+
+import numpy as np
+
+from repro.core import burstiness_ratio, format_table, overall_intensity
+
+from conftest import ALI_SCALE, MSRC_SCALE, run_once
+
+
+def test_fig6_table2_burstiness(benchmark, ali, msrc):
+    def compute():
+        out = {}
+        for name, ds, scale in (("AliCloud", ali, ALI_SCALE), ("MSRC", msrc, MSRC_SCALE)):
+            ratios = np.array(
+                [burstiness_ratio(v, scale.peak_interval) for v in ds.volumes() if len(v) > 1]
+            )
+            ratios = ratios[np.isfinite(ratios)]
+            out[name] = (ratios, overall_intensity(ds, scale.peak_interval))
+        return out
+
+    results = run_once(benchmark, compute)
+    print()
+    rows = []
+    for name, (ratios, overall) in results.items():
+        print(
+            f"Fig6 {name}: frac<10 {np.mean(ratios < 10):.1%}, "
+            f"frac>100 {np.mean(ratios > 100):.1%}, frac>1000 {np.mean(ratios > 1000):.2%}, "
+            f"max {ratios.max():.0f}"
+        )
+        rows.append(
+            [name, overall.peak_req_per_s, overall.average_req_per_s, overall.burstiness_ratio]
+        )
+    print(format_table(["trace", "peak (req/s)", "avg (req/s)", "burstiness"], rows, title="Table II"))
+
+    ratios_a, overall_a = results["AliCloud"]
+    ratios_m, overall_m = results["MSRC"]
+    # Finding 2: substantial bursty fraction in both, mild overall.
+    assert np.mean(ratios_a > 100) > 0.05
+    assert np.mean(ratios_m > 100) > 0.05
+    assert overall_a.burstiness_ratio < np.percentile(ratios_a, 90)
+    assert overall_m.burstiness_ratio < np.percentile(ratios_m, 90)
+    # Finding 3: AliCloud more diverse — more volumes at both extremes.
+    assert np.mean(ratios_a < 10) > np.mean(ratios_m < 10)
+    assert np.mean(ratios_a > 1000) >= np.mean(ratios_m > 1000)

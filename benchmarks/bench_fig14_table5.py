@@ -1,0 +1,45 @@
+"""Figure 14 + Table V / Finding 12 — RAW/WAW times and transition counts.
+
+Paper reference: RAW times are long (medians 3.0h AliCloud, 16.2h MSRC)
+while WAW times are short (1.4h and 0.2h); AliCloud has 8.4x more WAW
+than RAW transitions (103.7B vs 12.4B) while MSRC's counts are nearly
+equal (289.8M vs 297.2M).
+"""
+
+import numpy as np
+
+from repro.core import dataset_adjacent_access_times, format_duration, format_table
+from repro.stats import EmpiricalCDF
+
+from conftest import ALI_SCALE, run_once
+
+
+def test_fig14_table5_raw_waw(benchmark, ali, msrc):
+    def compute():
+        return (
+            dataset_adjacent_access_times(ali),
+            dataset_adjacent_access_times(msrc),
+        )
+
+    at_a, at_m = run_once(benchmark, compute)
+    print()
+    rows = []
+    for name, at in (("AliCloud", at_a), ("MSRC", at_m)):
+        c = at.counts()
+        rows.append([name, c["RAW"], c["WAW"], c["RAR"], c["WAR"]])
+        for kind in ("RAW", "WAW"):
+            cdf = EmpiricalCDF(at.get(kind))
+            print(
+                f"Fig14 {name} {kind}: median {format_duration(cdf.median)}, "
+                f"p25 {format_duration(cdf.percentile(25))}, "
+                f"p75 {format_duration(cdf.percentile(75))}"
+            )
+    print(format_table(["trace", "RAW", "WAW", "RAR", "WAR"], rows, title="Table V (counts)"))
+
+    # RAW time >> WAW time in both traces.
+    assert np.median(at_a.raw) > np.median(at_a.waw)
+    assert np.median(at_m.raw) > np.median(at_m.waw)
+    # AliCloud: WAW count several times the RAW count; MSRC: comparable.
+    counts_a, counts_m = at_a.counts(), at_m.counts()
+    assert counts_a["WAW"] > 2 * counts_a["RAW"]
+    assert 0.2 <= counts_m["WAW"] / max(counts_m["RAW"], 1) <= 5

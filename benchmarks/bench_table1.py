@@ -1,0 +1,64 @@
+"""Table I — basic statistics of both traces.
+
+Paper reference (AliCloud vs MSRC): 1,000 vs 36 volumes; 31 vs 7 days;
+5,058.6M vs 304.9M reads; 15,174.4M vs 128.9M writes; read/write/update
+traffic 161.6/455.5/429.2 vs 9.04/2.39/2.01 TiB; WSS total/read/write/
+update 29.5/10.1/26.3/18.6 vs 2.87/2.82/0.38/0.17 TiB.
+
+Shape preserved here: AliCloud larger in every dimension, write-dominant
+(W:R requests ~3:1 vs ~0.42:1), reads covering a small share of the
+AliCloud WSS but nearly all of the MSRC WSS, and update WSS a large share
+of AliCloud's write WSS.
+"""
+
+from repro.core import basic_statistics, format_table
+
+from conftest import ALI_SCALE, MSRC_SCALE, run_once
+
+GIB_PER_TIB = 1024.0
+
+
+def test_table1_basic_statistics(benchmark, ali, msrc):
+    def compute():
+        return (
+            basic_statistics(ali, duration_days=ALI_SCALE.n_days),
+            basic_statistics(msrc, duration_days=MSRC_SCALE.n_days),
+        )
+
+    stats_a, stats_m = run_once(benchmark, compute)
+
+    def gib(tib: float) -> float:
+        return tib * GIB_PER_TIB
+
+    rows = [
+        ["Number of volumes", stats_a.n_volumes, stats_m.n_volumes],
+        ["Duration (days)", stats_a.duration_days, stats_m.duration_days],
+        ["# of reads (M)", stats_a.n_reads_millions, stats_m.n_reads_millions],
+        ["# of writes (M)", stats_a.n_writes_millions, stats_m.n_writes_millions],
+        ["Read traffic (GiB)", gib(stats_a.read_traffic_tib), gib(stats_m.read_traffic_tib)],
+        ["Write traffic (GiB)", gib(stats_a.write_traffic_tib), gib(stats_m.write_traffic_tib)],
+        ["Update traffic (GiB)", gib(stats_a.update_traffic_tib), gib(stats_m.update_traffic_tib)],
+        ["Total WSS (GiB)", gib(stats_a.wss_total_tib), gib(stats_m.wss_total_tib)],
+        ["Read WSS (GiB)", gib(stats_a.wss_read_tib), gib(stats_m.wss_read_tib)],
+        ["Write WSS (GiB)", gib(stats_a.wss_write_tib), gib(stats_m.wss_write_tib)],
+        ["Update WSS (GiB)", gib(stats_a.wss_update_tib), gib(stats_m.wss_update_tib)],
+    ]
+    print()
+    print(format_table(["statistic", "AliCloud", "MSRC"], rows, title="Table I"))
+    print(
+        f"W:R requests  AliCloud {stats_a.write_read_request_ratio:.2f}:1  "
+        f"MSRC {stats_m.write_read_request_ratio:.2f}:1"
+    )
+    print(
+        f"Read WSS share  AliCloud {stats_a.read_wss_fraction:.1%}  "
+        f"MSRC {stats_m.read_wss_fraction:.1%}"
+    )
+
+    # Shape assertions (who wins, direction of every paper comparison).
+    assert stats_a.n_volumes > stats_m.n_volumes
+    assert stats_a.n_requests_millions > stats_m.n_requests_millions
+    assert stats_a.write_read_request_ratio > 1.5  # write-dominant
+    assert stats_m.write_read_request_ratio < 1.0  # read-dominant
+    assert stats_a.read_wss_fraction < 0.7  # reads a small share (34.3%)
+    assert stats_m.read_wss_fraction > 0.7  # reads nearly all (98.4%)
+    assert stats_a.wss_update_tib > 0.4 * stats_a.wss_write_tib  # heavy updates

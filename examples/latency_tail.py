@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Tail-latency study: what load imbalance costs in response time.
+
+The AliCloud traces record no response times (paper Section III-B), so
+the paper could only argue qualitatively that overloaded devices raise
+I/O latencies.  This example supplies the modeled counterpart using the
+queueing substrate: place a bursty cloud fleet on a small cluster under
+different policies, sweep the device speed to move the cluster through
+utilization regimes, and watch the p99 response time of the worst device
+explode as load concentrates.
+
+Run:  python examples/latency_tail.py
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    DeviceServiceModel,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+    place_dataset,
+    simulate_device_latencies,
+)
+from repro.core import format_duration, format_table
+from repro.synth import Scale, make_alicloud_fleet
+
+SCALE = Scale(n_days=8, day_seconds=60.0)
+N_DEVICES = 4
+
+
+def main() -> None:
+    fleet = make_alicloud_fleet(n_volumes=24, seed=29, scale=SCALE)
+    print(
+        f"Placing {fleet.n_volumes} volumes ({fleet.n_requests:,} requests) on "
+        f"{N_DEVICES} devices and sweeping device speed...\n"
+    )
+
+    placements = {
+        "round-robin": place_dataset(fleet, RoundRobinPlacement(N_DEVICES)),
+        "least-loaded": place_dataset(fleet, LeastLoadedPlacement(N_DEVICES)),
+    }
+
+    rows = []
+    for slowdown in (1.0, 4.0, 8.0):
+        model = DeviceServiceModel(
+            base_latency=200e-6 * slowdown,
+            bandwidth=400e6 / slowdown,
+            random_penalty=100e-6 * slowdown,
+        )
+        for policy, placement in placements.items():
+            report = simulate_device_latencies(fleet, placement, N_DEVICES, model)
+            rows.append(
+                [
+                    f"{slowdown:.0f}x",
+                    policy,
+                    f"{max(report.utilization.values()):.2f}",
+                    format_duration(report.overall_percentile(50)),
+                    format_duration(report.overall_percentile(99)),
+                    format_duration(report.worst_device_percentile(99)),
+                ]
+            )
+    print(
+        format_table(
+            ["slowdown", "policy", "max util", "p50", "p99", "worst-device p99"],
+            rows,
+            title="Response times under increasing device load",
+        )
+    )
+    print(
+        "\nTwo effects to read off the table, both from the paper's"
+        "\nload-balancing discussion: (1) as utilization grows, queueing"
+        "\ninflates the p99 far faster than the p50; (2) the load-aware"
+        "\nplacement keeps the worst device's tail consistently below the"
+        "\nload-oblivious one, because bursty volumes stop landing together."
+    )
+
+
+if __name__ == "__main__":
+    main()

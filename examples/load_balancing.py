@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Load balancing study: placing diverse, bursty volumes on a cluster.
+
+The paper's load-balancing implications (Findings 1-4) warn that cloud
+volumes are diverse and bursty, so placement must be load-aware.  This
+example places a synthetic fleet on an 8-device cluster under three
+policies, measures per-interval imbalance, and then demonstrates write
+offloading (Finding 7): how much idle time appears when writes are
+redirected away from primary volumes.
+
+Run:  python examples/load_balancing.py
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    HashPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+    dataset_offload_summary,
+    measure_imbalance,
+    place_dataset,
+)
+from repro.core import format_table
+from repro.synth import Scale, make_alicloud_fleet
+
+SCALE = Scale(n_days=10, day_seconds=60.0)
+N_DEVICES = 8
+
+
+def main() -> None:
+    fleet = make_alicloud_fleet(n_volumes=40, seed=13, scale=SCALE)
+    print(f"Placing {fleet.n_volumes} volumes ({fleet.n_requests:,} requests) "
+          f"on {N_DEVICES} devices...\n")
+
+    rows = []
+    for policy in (
+        RoundRobinPlacement(N_DEVICES),
+        HashPlacement(N_DEVICES),
+        LeastLoadedPlacement(N_DEVICES),
+    ):
+        placement = place_dataset(fleet, policy)
+        report = measure_imbalance(
+            fleet, placement, N_DEVICES, interval=SCALE.activity_interval
+        )
+        rows.append(
+            [
+                policy.name,
+                f"{report.mean_peak_to_mean:.2f}",
+                f"{report.p95_peak_to_mean:.2f}",
+                f"{report.mean_cov:.2f}",
+                f"{report.device_totals.max() / max(report.device_totals.min(), 1):.2f}",
+            ]
+        )
+    print(format_table(
+        ["policy", "mean peak/mean", "p95 peak/mean", "mean CoV", "total-load spread"],
+        rows, title="Per-interval device imbalance",
+    ))
+    print(
+        "\nLoad-aware (least-loaded) placement flattens total load, but the"
+        "\np95 imbalance stays high for every static policy: short bursts"
+        "\n(Finding 2) cannot be absorbed by placement alone.\n"
+    )
+
+    # --- Write offloading (paper Finding 7 implication) ---------------------
+    opportunities = dataset_offload_summary(fleet, idle_threshold=SCALE.hours(0.25))
+    idle_fracs = np.array([o.idle_fraction for o in opportunities])
+    print(
+        f"Write offloading: with writes redirected, the median volume is "
+        f"read-idle for {np.median(idle_fracs):.0%} of the trace;\n"
+        f"{np.mean(idle_fracs > 0.9):.0%} of volumes are read-idle more than "
+        f"90% of the time — prime spin-down candidates for power savings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Synthetic twins: turn an observed volume into a shareable model.
+
+Production traces are sensitive; workload *models* are not.  This example
+fits generative parameters (rate, op mix, size mixture, working sets,
+popularity skew, micro-burstiness) to observed volumes and regenerates
+"twin" volumes from them, then verifies that each twin reproduces the
+original's characterization profile — the round trip from the paper's
+analysis axes back into the synthesis toolkit.
+
+Run:  python examples/synthetic_twin.py
+"""
+
+import numpy as np
+
+from repro.core import compute_profile
+from repro.core.report import format_table
+from repro.synth import Scale, fit_twin, generate_volume, make_alicloud_fleet, twin_spec
+
+SCALE = Scale(n_days=6, day_seconds=60.0)
+
+
+def main() -> None:
+    fleet = make_alicloud_fleet(n_volumes=16, seed=31, scale=SCALE)
+    volumes = sorted(fleet.non_empty_volumes(), key=len, reverse=True)[:4]
+    rng = np.random.default_rng(0)
+
+    print("Fitting and regenerating synthetic twins...\n")
+    rows = []
+    for original in volumes:
+        params = fit_twin(original)
+        twin = generate_volume(twin_spec(params, seed=3), rng, 0.0, original.duration)
+        p_orig = compute_profile(original)
+        p_twin = compute_profile(twin)
+        rows.append(
+            [
+                original.volume_id,
+                f"{len(original):,} / {len(twin):,}",
+                f"{p_orig.write_read_ratio:.1f} / {p_twin.write_read_ratio:.1f}"
+                if np.isfinite(p_orig.write_read_ratio) and np.isfinite(p_twin.write_read_ratio)
+                else "inf / inf",
+                f"{p_orig.update_coverage:.0%} / {p_twin.update_coverage:.0%}",
+                f"{p_orig.top10_write_traffic:.0%} / {p_twin.top10_write_traffic:.0%}"
+                if np.isfinite(p_orig.top10_write_traffic)
+                else "-",
+                f"{params.write_zipf_s:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["volume", "requests (orig/twin)", "W:R", "update coverage", "top-10% writes", "fitted s"],
+            rows,
+            title="Original vs twin profiles",
+        )
+    )
+    print(
+        "\nThe twins match the originals' request volume, read/write mix, and"
+        "\nwrite aggregation closely, and track update coverage approximately"
+        "\n(the Zipf fit is the lossy part).  Good enough to stand in for the"
+        "\nraw trace in cache and cluster experiments — and the model is just"
+        "\na dozen floats per volume, with nothing sensitive inside."
+    )
+
+
+if __name__ == "__main__":
+    main()

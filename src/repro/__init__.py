@@ -1,0 +1,72 @@
+"""repro — workload characterization toolkit for cloud block storage.
+
+A production-quality reproduction of "An In-Depth Analysis of Cloud Block
+Storage Workloads in Large-Scale Production" (IISWC 2020).  The package
+provides:
+
+* :mod:`repro.trace` — trace data model and file formats (AliCloud, MSRC),
+* :mod:`repro.stats` — CDF/boxplot/histogram statistics toolkit,
+* :mod:`repro.synth` — calibrated synthetic fleet generation,
+* :mod:`repro.core` — the paper's characterization metrics and 15 findings,
+* :mod:`repro.cache` — cache policies, trace-driven simulation, MRC tools,
+* :mod:`repro.cluster` — SSD/FTL model, placement, balancing, offloading.
+
+Quickstart::
+
+    from repro import make_alicloud_fleet, compute_profile
+    fleet = make_alicloud_fleet(n_volumes=20, seed=7)
+    profile = compute_profile(fleet.volumes()[0])
+    print(profile.write_read_ratio, profile.update_coverage)
+"""
+
+from . import cache, cluster, core, stats, synth, trace
+from .trace import (
+    DEFAULT_BLOCK_SIZE,
+    IORequest,
+    OpType,
+    TraceDataset,
+    VolumeTrace,
+    read_alicloud,
+    read_msrc,
+    write_alicloud,
+    write_msrc,
+)
+from .synth import Scale, make_alicloud_fleet, make_msrc_fleet
+from .core import (
+    BasicStatistics,
+    Finding,
+    VolumeProfile,
+    basic_statistics,
+    compute_profile,
+    evaluate_findings,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cache",
+    "cluster",
+    "core",
+    "stats",
+    "synth",
+    "trace",
+    "DEFAULT_BLOCK_SIZE",
+    "IORequest",
+    "OpType",
+    "TraceDataset",
+    "VolumeTrace",
+    "read_alicloud",
+    "read_msrc",
+    "write_alicloud",
+    "write_msrc",
+    "Scale",
+    "make_alicloud_fleet",
+    "make_msrc_fleet",
+    "BasicStatistics",
+    "Finding",
+    "VolumeProfile",
+    "basic_statistics",
+    "compute_profile",
+    "evaluate_findings",
+    "__version__",
+]

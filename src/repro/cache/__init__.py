@@ -1,0 +1,47 @@
+"""Block cache simulation: policies, trace-driven simulator, MRC tools."""
+
+from .base import CachePolicy
+from .lru import LRUCache
+from .fifo import FIFOCache
+from .lfu import LFUCache
+from .clock import ClockCache
+from .arc import ARCCache
+from .twoq import TwoQCache
+from .simulator import CacheSimResult, simulate_stream, simulate_trace
+from .reuse import INFINITE_DISTANCE, reuse_distances
+from .mrc import MissRatioCurve, mrc_from_distances, mrc_from_stream
+from .shards import shards_mrc, shards_sample_mask
+from .writeback import WriteBackCache, WriteBackStats, simulate_writeback
+from .admission import BlockTypeTracker, TypeAwareAdmissionCache
+
+#: Registry of available policy classes by name.
+POLICIES = {
+    cls.name: cls
+    for cls in (LRUCache, FIFOCache, LFUCache, ClockCache, ARCCache, TwoQCache)
+}
+
+__all__ = [
+    "CachePolicy",
+    "LRUCache",
+    "FIFOCache",
+    "LFUCache",
+    "ClockCache",
+    "ARCCache",
+    "TwoQCache",
+    "POLICIES",
+    "CacheSimResult",
+    "simulate_trace",
+    "simulate_stream",
+    "reuse_distances",
+    "INFINITE_DISTANCE",
+    "MissRatioCurve",
+    "mrc_from_distances",
+    "mrc_from_stream",
+    "shards_mrc",
+    "shards_sample_mask",
+    "WriteBackCache",
+    "WriteBackStats",
+    "simulate_writeback",
+    "BlockTypeTracker",
+    "TypeAwareAdmissionCache",
+]

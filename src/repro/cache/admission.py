@@ -1,0 +1,133 @@
+"""Type-aware cache admission (the paper's Finding 10 implication).
+
+Finding 10 observes that read and write traffic aggregate in read-mostly
+and write-mostly blocks; Section V proposes admitting blocks to caches by
+their observed type, as ACGR [14] regulates flash accesses.  This module
+implements that policy: an online classifier tracks each block's
+read/write counts, and a read cache admits only blocks that look
+read-mostly (mutatis mutandis for a write cache), protecting the cache
+from blocks whose traffic it cannot serve.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from .base import CachePolicy
+from .lru import LRUCache
+
+__all__ = ["BlockTypeTracker", "TypeAwareAdmissionCache"]
+
+
+class BlockTypeTracker:
+    """Bounded-memory per-block read/write counters with LRU eviction.
+
+    Tracks up to ``capacity`` blocks; classification needs at least
+    ``min_observations`` accesses, otherwise a block is "unknown".
+    """
+
+    def __init__(self, capacity: int = 1 << 16, min_observations: int = 3) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self.capacity = capacity
+        self.min_observations = min_observations
+        self._counts: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+
+    def observe(self, block: int, is_write: bool) -> None:
+        reads, writes = self._counts.pop(block, (0, 0))
+        if is_write:
+            writes += 1
+        else:
+            reads += 1
+        self._counts[block] = (reads, writes)
+        if len(self._counts) > self.capacity:
+            self._counts.popitem(last=False)
+
+    def classify(self, block: int, threshold: float = 0.95) -> str:
+        """``"read-mostly"``, ``"write-mostly"``, ``"mixed"``, or
+        ``"unknown"`` (not enough observations)."""
+        reads, writes = self._counts.get(block, (0, 0))
+        total = reads + writes
+        if total < self.min_observations:
+            return "unknown"
+        if reads >= threshold * total:
+            return "read-mostly"
+        if writes >= threshold * total:
+            return "write-mostly"
+        return "mixed"
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class TypeAwareAdmissionCache(CachePolicy):
+    """LRU cache that admits blocks only when their observed type matches.
+
+    Args:
+        capacity: resident blocks.
+        serve: ``"read"`` — admit read-mostly (and unknown) blocks on
+            reads only; ``"write"`` — admit write-mostly (and unknown)
+            blocks on writes only.
+        threshold: the read-/write-mostly classification threshold
+            (paper: 95%).
+        admit_unknown: whether unclassified blocks may enter (default
+            True: behave like LRU until evidence accumulates).
+    """
+
+    name = "type-aware"
+
+    def __init__(
+        self,
+        capacity: int,
+        serve: str = "read",
+        threshold: float = 0.95,
+        tracker: BlockTypeTracker = None,
+        admit_unknown: bool = True,
+    ) -> None:
+        super().__init__(capacity)
+        if serve not in ("read", "write"):
+            raise ValueError("serve must be 'read' or 'write'")
+        if not 0.5 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0.5, 1]")
+        self.serve = serve
+        self.threshold = threshold
+        self.admit_unknown = admit_unknown
+        self.tracker = tracker or BlockTypeTracker()
+        self._lru = LRUCache(capacity)
+        self.rejected_admissions = 0
+
+    def _admissible(self, block: int, is_write: bool) -> bool:
+        # Only the matching op type can admit.
+        if is_write != (self.serve == "write"):
+            return False
+        kind = self.tracker.classify(block, self.threshold)
+        if kind == "unknown":
+            return self.admit_unknown
+        return kind == f"{self.serve}-mostly"
+
+    def access(self, block: int, is_write: bool) -> bool:
+        self.tracker.observe(block, is_write)
+        if block in self._lru:
+            return self._lru.access(block, is_write)
+        if self._admissible(block, is_write):
+            self._lru.access(block, is_write)
+        else:
+            self.rejected_admissions += 1
+        return False
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._lru)
+
+    def reset(self) -> None:
+        self._lru.reset()
+        self.rejected_admissions = 0

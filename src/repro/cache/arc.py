@@ -1,0 +1,102 @@
+"""Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+
+ARC balances recency (T1) against frequency (T2) using ghost lists (B1,
+B2) to adapt the split point ``p`` online.  Included as the adaptive
+baseline for the cache-policy ablation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import CachePolicy
+
+__all__ = ["ARCCache"]
+
+
+class ARCCache(CachePolicy):
+    """Standard ARC over block ids."""
+
+    name = "arc"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._p = 0.0  # target size of T1
+        self._t1: "OrderedDict[int, None]" = OrderedDict()  # recent, seen once
+        self._t2: "OrderedDict[int, None]" = OrderedDict()  # frequent
+        self._b1: "OrderedDict[int, None]" = OrderedDict()  # ghost of T1
+        self._b2: "OrderedDict[int, None]" = OrderedDict()  # ghost of T2
+
+    def _replace(self, in_b2: bool) -> None:
+        """Evict from T1 or T2 into the matching ghost list."""
+        t1_len = len(self._t1)
+        if t1_len and (t1_len > self._p or (in_b2 and t1_len == int(self._p))):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        else:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+
+    def access(self, block: int, is_write: bool) -> bool:
+        # Case I: hit in T1 or T2 -> promote to MRU of T2.
+        if block in self._t1:
+            del self._t1[block]
+            self._t2[block] = None
+            return True
+        if block in self._t2:
+            self._t2.move_to_end(block)
+            return True
+        # Case II: ghost hit in B1 -> grow p, bring into T2.
+        if block in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(self.capacity), self._p + delta)
+            self._replace(in_b2=False)
+            del self._b1[block]
+            self._t2[block] = None
+            return False
+        # Case III: ghost hit in B2 -> shrink p, bring into T2.
+        if block in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            self._replace(in_b2=True)
+            del self._b2[block]
+            self._t2[block] = None
+            return False
+        # Case IV: full miss.
+        c = self.capacity
+        l1 = len(self._t1) + len(self._b1)
+        if l1 == c:
+            if len(self._t1) < c:
+                self._b1.popitem(last=False)
+                self._replace(in_b2=False)
+            else:
+                self._t1.popitem(last=False)
+        else:
+            total = l1 + len(self._t2) + len(self._b2)
+            if total >= c:
+                if total == 2 * c:
+                    self._b2.popitem(last=False)
+                self._replace(in_b2=False)
+        self._t1[block] = None
+        return False
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._t1 or block in self._t2
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self._t1
+        yield from self._t2
+
+    @property
+    def p(self) -> float:
+        """Current adaptive target size of the recency list T1."""
+        return self._p
+
+    def reset(self) -> None:
+        self._p = 0.0
+        for lst in (self._t1, self._t2, self._b1, self._b2):
+            lst.clear()

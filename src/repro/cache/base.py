@@ -1,0 +1,56 @@
+"""Cache policy interface.
+
+Policies operate at block granularity over integer block ids.  A policy
+owns only replacement decisions; hit/miss accounting and trace driving live
+in :mod:`repro.cache.simulator`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+__all__ = ["CachePolicy"]
+
+
+class CachePolicy(abc.ABC):
+    """A fixed-capacity block cache replacement policy.
+
+    Args:
+        capacity: maximum number of blocks resident at once (> 0).
+    """
+
+    name: str = "base"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+
+    @abc.abstractmethod
+    def access(self, block: int, is_write: bool) -> bool:
+        """Access a block; returns True on hit, False on miss.
+
+        On a miss the policy admits the block (all paper experiments use a
+        unified read+write cache with admit-on-miss), evicting per its
+        replacement rule when full.
+        """
+
+    @abc.abstractmethod
+    def __contains__(self, block: int) -> bool:
+        """Whether the block is currently resident (no side effects)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of resident blocks."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over resident block ids (order is policy-specific)."""
+
+    def reset(self) -> None:
+        """Drop all resident blocks (default: re-init via subclass)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(capacity={self.capacity}, resident={len(self)})"

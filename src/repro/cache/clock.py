@@ -1,0 +1,62 @@
+"""CLOCK (second-chance) cache, the classic LRU approximation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .base import CachePolicy
+
+__all__ = ["ClockCache"]
+
+
+class ClockCache(CachePolicy):
+    """CLOCK: resident blocks sit on a circular buffer with a reference
+    bit; hits set the bit; eviction sweeps the hand, clearing bits until it
+    finds an unreferenced victim."""
+
+    name = "clock"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._slots: List[Optional[int]] = [None] * capacity
+        self._referenced: List[bool] = [False] * capacity
+        self._slot_of: Dict[int, int] = {}
+        self._hand = 0
+
+    def access(self, block: int, is_write: bool) -> bool:
+        slot = self._slot_of.get(block)
+        if slot is not None:
+            self._referenced[slot] = True
+            return True
+        # Find a victim slot: advance the hand past referenced entries,
+        # clearing their bits (second chance).
+        while True:
+            if self._slots[self._hand] is None:
+                break
+            if not self._referenced[self._hand]:
+                break
+            self._referenced[self._hand] = False
+            self._hand = (self._hand + 1) % self.capacity
+        victim = self._slots[self._hand]
+        if victim is not None:
+            del self._slot_of[victim]
+        self._slots[self._hand] = block
+        self._referenced[self._hand] = False
+        self._slot_of[block] = self._hand
+        self._hand = (self._hand + 1) % self.capacity
+        return False
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._slot_of
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._slot_of)
+
+    def reset(self) -> None:
+        self._slots = [None] * self.capacity
+        self._referenced = [False] * self.capacity
+        self._slot_of.clear()
+        self._hand = 0

@@ -1,0 +1,42 @@
+"""First-in-first-out cache (recency-oblivious baseline)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import CachePolicy
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(CachePolicy):
+    """FIFO: hits do not reorder; misses admit at the tail and evict the
+    oldest resident block when full."""
+
+    name = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, block: int, is_write: bool) -> bool:
+        if block in self._resident:
+            return True
+        if len(self._resident) >= self.capacity:
+            self._resident.popitem(last=False)
+        self._resident[block] = None
+        return False
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __iter__(self) -> Iterator[int]:
+        """Oldest-to-newest order."""
+        return iter(self._resident)
+
+    def reset(self) -> None:
+        self._resident.clear()

@@ -1,0 +1,71 @@
+"""Least-frequently-used cache with LRU tie-breaking.
+
+Implemented with the O(1) frequency-list scheme: blocks live in per-
+frequency ordered buckets; eviction takes the least recently used block of
+the minimum frequency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator
+
+from .base import CachePolicy
+
+__all__ = ["LFUCache"]
+
+
+class LFUCache(CachePolicy):
+    """LFU with LRU tie-break among equally-frequent blocks."""
+
+    name = "lfu"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._freq: Dict[int, int] = {}
+        self._buckets: Dict[int, "OrderedDict[int, None]"] = {}
+        self._min_freq = 0
+
+    def _bump(self, block: int) -> None:
+        f = self._freq[block]
+        bucket = self._buckets[f]
+        del bucket[block]
+        if not bucket:
+            del self._buckets[f]
+            if self._min_freq == f:
+                self._min_freq = f + 1
+        self._freq[block] = f + 1
+        self._buckets.setdefault(f + 1, OrderedDict())[block] = None
+
+    def access(self, block: int, is_write: bool) -> bool:
+        if block in self._freq:
+            self._bump(block)
+            return True
+        if len(self._freq) >= self.capacity:
+            victim_bucket = self._buckets[self._min_freq]
+            victim, _ = victim_bucket.popitem(last=False)
+            if not victim_bucket:
+                del self._buckets[self._min_freq]
+            del self._freq[victim]
+        self._freq[block] = 1
+        self._buckets.setdefault(1, OrderedDict())[block] = None
+        self._min_freq = 1
+        return False
+
+    def frequency(self, block: int) -> int:
+        """Current access count of a resident block (0 if absent)."""
+        return self._freq.get(block, 0)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._freq
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._freq)
+
+    def reset(self) -> None:
+        self._freq.clear()
+        self._buckets.clear()
+        self._min_freq = 0

@@ -1,0 +1,43 @@
+"""Least-recently-used cache (the paper's Finding 15 policy)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import CachePolicy
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(CachePolicy):
+    """Classic LRU: hits move the block to the MRU end; misses admit at the
+    MRU end and evict from the LRU end when full."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, block: int, is_write: bool) -> bool:
+        if block in self._resident:
+            self._resident.move_to_end(block)
+            return True
+        if len(self._resident) >= self.capacity:
+            self._resident.popitem(last=False)
+        self._resident[block] = None
+        return False
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __iter__(self) -> Iterator[int]:
+        """LRU-to-MRU order."""
+        return iter(self._resident)
+
+    def reset(self) -> None:
+        self._resident.clear()

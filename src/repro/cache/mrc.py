@@ -1,0 +1,78 @@
+"""Miss-ratio curves (MRCs) from reuse distances.
+
+An LRU cache of capacity C misses exactly the accesses whose reuse
+distance is >= C (cold accesses always miss), so the full MRC falls out of
+one histogram over the reuse-distance stream — the technique behind
+Counter Stacks [31] and SHARDS [28], both cited by the paper's Finding 15
+discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .reuse import INFINITE_DISTANCE, reuse_distances
+
+__all__ = ["MissRatioCurve", "mrc_from_distances", "mrc_from_stream"]
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """LRU miss ratio as a function of cache capacity (in blocks).
+
+    ``miss_ratio(c)`` is exact for every integer capacity: cold misses plus
+    accesses whose reuse distance >= c, divided by total accesses.
+    """
+
+    #: Sorted distinct finite reuse distances observed.
+    distances: np.ndarray
+    #: Number of accesses at each distance in ``distances``.
+    counts: np.ndarray
+    #: Number of cold (first-touch) accesses.
+    cold: int
+    #: Total number of accesses.
+    n: int
+
+    def miss_ratio(self, capacity: int) -> float:
+        """Exact LRU miss ratio at the given capacity (blocks)."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.n == 0:
+            return float("nan")
+        # Hits: accesses with distance < capacity.
+        hit_idx = np.searchsorted(self.distances, capacity, side="left")
+        hits = int(self.counts[:hit_idx].sum())
+        return (self.n - hits) / self.n
+
+    def miss_ratios(self, capacities: Sequence[int]) -> np.ndarray:
+        return np.array([self.miss_ratio(c) for c in capacities])
+
+    @property
+    def compulsory_miss_ratio(self) -> float:
+        """Miss ratio floor from cold accesses alone (infinite cache)."""
+        return self.cold / self.n if self.n else float("nan")
+
+    def working_set_blocks(self) -> int:
+        """Number of distinct blocks (equals the cold-access count)."""
+        return self.cold
+
+
+def mrc_from_distances(distances: np.ndarray) -> MissRatioCurve:
+    """Build an MRC from a reuse-distance stream (sentinel = cold)."""
+    d = np.asarray(distances, dtype=np.int64)
+    cold = int(np.count_nonzero(d == INFINITE_DISTANCE))
+    finite = d[d != INFINITE_DISTANCE]
+    if len(finite):
+        uniq, counts = np.unique(finite, return_counts=True)
+    else:
+        uniq = np.array([], dtype=np.int64)
+        counts = np.array([], dtype=np.int64)
+    return MissRatioCurve(distances=uniq, counts=counts, cold=cold, n=len(d))
+
+
+def mrc_from_stream(blocks: np.ndarray) -> MissRatioCurve:
+    """Exact MRC of a block-id access stream."""
+    return mrc_from_distances(reuse_distances(blocks))

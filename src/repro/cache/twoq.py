@@ -1,0 +1,82 @@
+"""2Q cache (Johnson & Shasha, VLDB'94), simplified two-queue variant.
+
+New blocks enter a FIFO probation queue (A1in); a reference while in the
+ghost queue (A1out) promotes the block into the main LRU queue (Am),
+filtering one-touch scans out of the hot set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import CachePolicy
+
+__all__ = ["TwoQCache"]
+
+
+class TwoQCache(CachePolicy):
+    """2Q with the standard sizing heuristics (Kin = 25% of capacity,
+    Kout = 50% of capacity)."""
+
+    name = "2q"
+
+    def __init__(self, capacity: int, in_fraction: float = 0.25, out_fraction: float = 0.5) -> None:
+        super().__init__(capacity)
+        if not 0 < in_fraction < 1:
+            raise ValueError("in_fraction must be in (0, 1)")
+        if out_fraction <= 0:
+            raise ValueError("out_fraction must be positive")
+        self._kin = max(1, int(capacity * in_fraction))
+        self._kout = max(1, int(capacity * out_fraction))
+        self._a1in: "OrderedDict[int, None]" = OrderedDict()  # probation FIFO
+        self._a1out: "OrderedDict[int, None]" = OrderedDict()  # ghost FIFO
+        self._am: "OrderedDict[int, None]" = OrderedDict()  # main LRU
+
+    def _evict_for_admission(self) -> None:
+        if len(self._a1in) >= self._kin:
+            victim, _ = self._a1in.popitem(last=False)
+            self._a1out[victim] = None
+            if len(self._a1out) > self._kout:
+                self._a1out.popitem(last=False)
+        elif len(self._a1in) + len(self._am) >= self.capacity:
+            if self._am:
+                self._am.popitem(last=False)
+            else:
+                victim, _ = self._a1in.popitem(last=False)
+                self._a1out[victim] = None
+                if len(self._a1out) > self._kout:
+                    self._a1out.popitem(last=False)
+
+    def access(self, block: int, is_write: bool) -> bool:
+        if block in self._am:
+            self._am.move_to_end(block)
+            return True
+        if block in self._a1in:
+            # 2Q leaves A1in blocks in place on re-reference.
+            return True
+        if block in self._a1out:
+            del self._a1out[block]
+            if len(self._a1in) + len(self._am) >= self.capacity:
+                self._evict_for_admission()
+            self._am[block] = None
+            return False
+        if len(self._a1in) + len(self._am) >= self.capacity or len(self._a1in) >= self._kin:
+            self._evict_for_admission()
+        self._a1in[block] = None
+        return False
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._a1in or block in self._am
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self._a1in
+        yield from self._am
+
+    def reset(self) -> None:
+        self._a1in.clear()
+        self._a1out.clear()
+        self._am.clear()

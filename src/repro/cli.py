@@ -1,0 +1,292 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``repro generate`` — write a synthetic fleet to trace files.
+* ``repro analyze`` — per-volume profiles of a trace directory (JSON).
+* ``repro report`` — fleet-level summary tables for one dataset.
+* ``repro findings`` — evaluate the paper's 15 findings on two fleets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import List, Optional
+
+from .core import (
+    basic_statistics,
+    compute_profile,
+    evaluate_findings,
+    format_table,
+)
+from .synth import alicloud_scale, make_alicloud_fleet, make_msrc_fleet, msrc_scale
+from .trace import TraceDataset, read_dataset_dir, write_dataset_dir
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Workload characterization toolkit for cloud block storage traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic fleet as trace files")
+    gen.add_argument("output_dir", help="directory to write per-volume CSV files")
+    gen.add_argument("--fleet", choices=["alicloud", "msrc"], default="alicloud")
+    gen.add_argument("--volumes", type=int, default=None, help="number of volumes")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--days", type=int, default=None, help="trace days")
+    gen.add_argument("--day-seconds", type=float, default=240.0, help="seconds per compressed day")
+    gen.add_argument("--compress", action="store_true", help="gzip the trace files")
+
+    ana = sub.add_parser("analyze", help="per-volume profiles of a trace directory")
+    ana.add_argument("trace_dir", help="directory of .csv/.csv.gz trace files")
+    ana.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
+    ana.add_argument("--block-size", type=int, default=4096)
+    ana.add_argument("--output", default="-", help="output JSON path ('-' for stdout)")
+
+    rep = sub.add_parser("report", help="fleet-level summary of a trace directory")
+    rep.add_argument("trace_dir")
+    rep.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
+    rep.add_argument("--block-size", type=int, default=4096)
+
+    fnd = sub.add_parser("findings", help="evaluate the paper's 15 findings on synthetic fleets")
+    fnd.add_argument("--volumes", type=int, default=60, help="AliCloud-side volumes")
+    fnd.add_argument("--seed", type=int, default=0)
+    fnd.add_argument("--day-seconds", type=float, default=240.0)
+    fnd.add_argument(
+        "--verbose", action="store_true", help="print the measured evidence per finding"
+    )
+
+    exp = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures on synthetic fleets"
+    )
+    exp.add_argument("--volumes", type=int, default=40, help="AliCloud-side volumes")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--day-seconds", type=float, default=120.0)
+    exp.add_argument(
+        "--only", nargs="*", default=None,
+        help="substring filters on experiment ids (e.g. 'Table I' 'Figure 18')",
+    )
+
+    stream = sub.add_parser(
+        "stream-analyze",
+        help="one-pass bounded-memory profiling of a trace directory "
+        "(for traces too large to load)",
+    )
+    stream.add_argument("trace_dir")
+    stream.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
+    stream.add_argument("--block-size", type=int, default=4096)
+    stream.add_argument("--output", default="-", help="output JSON path ('-' for stdout)")
+
+    val = sub.add_parser("validate", help="sanity-check the trace files in a directory")
+    val.add_argument("trace_dir")
+    val.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
+    val.add_argument(
+        "--check-alignment", action="store_true",
+        help="also flag offsets/sizes not aligned to 512-byte sectors",
+    )
+    return parser
+
+
+def _generate(args: argparse.Namespace) -> int:
+    if args.fleet == "alicloud":
+        scale = alicloud_scale(n_days=args.days or 31, day_seconds=args.day_seconds)
+        dataset = make_alicloud_fleet(
+            n_volumes=args.volumes or 100, seed=args.seed, scale=scale
+        )
+        fmt = "alicloud"
+    else:
+        scale = msrc_scale(n_days=args.days or 7, day_seconds=args.day_seconds)
+        dataset = make_msrc_fleet(n_volumes=args.volumes or 36, seed=args.seed, scale=scale)
+        fmt = "msrc"
+    write_dataset_dir(dataset, args.output_dir, fmt=fmt, compress=args.compress)
+    print(
+        f"wrote {dataset.n_volumes} volumes, {dataset.n_requests} requests "
+        f"to {args.output_dir}"
+    )
+    return 0
+
+
+def _json_safe(value):
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    dataset = read_dataset_dir(args.trace_dir, fmt=args.format)
+    profiles = [
+        _json_safe(compute_profile(v, block_size=args.block_size).to_dict())
+        for v in dataset.volumes()
+    ]
+    payload = json.dumps({"dataset": dataset.name, "profiles": profiles}, indent=2)
+    if args.output == "-":
+        print(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(f"wrote {len(profiles)} profiles to {args.output}")
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    dataset = read_dataset_dir(args.trace_dir, fmt=args.format)
+    stats = basic_statistics(dataset, block_size=args.block_size)
+    rows = [
+        ["Number of volumes", stats.n_volumes],
+        ["Duration (days)", stats.duration_days],
+        ["# of reads (M)", stats.n_reads_millions],
+        ["# of writes (M)", stats.n_writes_millions],
+        ["Read traffic (TiB)", stats.read_traffic_tib],
+        ["Write traffic (TiB)", stats.write_traffic_tib],
+        ["Update traffic (TiB)", stats.update_traffic_tib],
+        ["Total WSS (TiB)", stats.wss_total_tib],
+        ["Read WSS (TiB)", stats.wss_read_tib],
+        ["Write WSS (TiB)", stats.wss_write_tib],
+        ["Update WSS (TiB)", stats.wss_update_tib],
+    ]
+    print(format_table(["statistic", dataset.name], rows, title="Basic statistics"))
+    return 0
+
+
+def _findings(args: argparse.Namespace) -> int:
+    scale_a = alicloud_scale(day_seconds=args.day_seconds)
+    scale_m = msrc_scale(day_seconds=args.day_seconds)
+    ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
+    msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
+    findings = evaluate_findings(
+        ali,
+        msrc,
+        peak_interval=scale_a.peak_interval,
+        activity_interval=scale_a.activity_interval,
+    )
+    for finding in findings:
+        print(finding)
+        if args.verbose:
+            for key, value in finding.evidence.items():
+                print(f"    {key}: {value}")
+    held = sum(f.holds for f in findings)
+    print(f"\n{held} of {len(findings)} findings hold")
+    return 0 if held == len(findings) else 1
+
+
+def _experiments(args: argparse.Namespace) -> int:
+    from .core.experiments import render_experiments
+
+    scale_a = alicloud_scale(day_seconds=args.day_seconds)
+    scale_m = msrc_scale(day_seconds=args.day_seconds)
+    ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
+    msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
+    print(
+        render_experiments(
+            ali,
+            msrc,
+            day_seconds=args.day_seconds,
+            n_days_ali=scale_a.n_days,
+            n_days_msrc=scale_m.n_days,
+            only=args.only,
+        )
+    )
+    return 0
+
+
+def _stream_analyze(args: argparse.Namespace) -> int:
+    import os
+
+    from .core.streaming_profile import stream_profile_requests
+    from .trace.reader import iter_alicloud_requests, iter_msrc_requests
+
+    iter_fn = iter_alicloud_requests if args.format == "alicloud" else iter_msrc_requests
+    files = sorted(
+        os.path.join(args.trace_dir, f)
+        for f in os.listdir(args.trace_dir)
+        if f.endswith(".csv") or f.endswith(".csv.gz")
+    )
+    if not files:
+        raise FileNotFoundError(f"no trace files in {args.trace_dir!r}")
+
+    def all_requests():
+        for path in files:
+            yield from iter_fn(path)
+
+    profiles = stream_profile_requests(all_requests(), block_size=args.block_size)
+    payload = json.dumps(
+        {
+            "dataset": os.path.basename(os.path.normpath(args.trace_dir)),
+            "profiles": {
+                vid: _json_safe(
+                    {
+                        "n_requests": p.n_requests,
+                        "n_reads": p.n_reads,
+                        "n_writes": p.n_writes,
+                        "read_bytes": p.read_bytes,
+                        "write_bytes": p.write_bytes,
+                        "duration_seconds": p.duration,
+                        "average_intensity": p.average_intensity,
+                        "write_read_ratio": p.write_read_ratio
+                        if p.write_read_ratio != float("inf")
+                        else None,
+                        "wss_total_bytes": p.wss_total_bytes,
+                        "wss_read_bytes": p.wss_read_bytes,
+                        "wss_write_bytes": p.wss_write_bytes,
+                        "size_percentiles": p.size_percentiles,
+                        "interarrival_percentiles": p.interarrival_percentiles,
+                    }
+                )
+                for vid, p in profiles.items()
+            },
+        },
+        indent=2,
+    )
+    if args.output == "-":
+        print(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(f"wrote {len(profiles)} streaming profiles to {args.output}")
+    return 0
+
+
+def _validate(args: argparse.Namespace) -> int:
+    from .trace.validation import validate_dataset
+
+    dataset = read_dataset_dir(args.trace_dir, fmt=args.format)
+    report = validate_dataset(dataset, check_alignment=args.check_alignment)
+    if report.ok:
+        print(
+            f"OK: {dataset.n_volumes} volumes, {dataset.n_requests} requests, "
+            f"no issues found"
+        )
+        return 0
+    for issue in report.issues:
+        print(issue)
+    print(f"\n{len(report.issues)} issue(s) found")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _generate,
+        "analyze": _analyze,
+        "report": _report,
+        "findings": _findings,
+        "experiments": _experiments,
+        "stream-analyze": _stream_analyze,
+        "validate": _validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

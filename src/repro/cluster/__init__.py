@@ -1,0 +1,65 @@
+"""Storage cluster management: SSD/FTL model, wear leveling, placement,
+balancing, write offloading."""
+
+from .device import SSDDevice, SSDGeometry
+from .ftl import FTLStats, PageMappedFTL
+from .placement import (
+    HashPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    place_dataset,
+)
+from .balancer import ImbalanceReport, device_load_timeseries, measure_imbalance
+from .wear import WEAR_POLICIES, WearLevelingFTL, WearReport, compare_wear_leveling
+from .latency import (
+    DeviceServiceModel,
+    LatencyReport,
+    queue_response_times,
+    simulate_device_latencies,
+)
+from .erasure import (
+    ParityCost,
+    StripeLayout,
+    compare_parity_schemes,
+    full_stripe_cost,
+    parity_logging_cost,
+    rmw_cost,
+)
+from .offload import (
+    OffloadOpportunity,
+    dataset_offload_summary,
+    volume_offload_opportunity,
+)
+
+__all__ = [
+    "SSDDevice",
+    "SSDGeometry",
+    "FTLStats",
+    "PageMappedFTL",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "HashPlacement",
+    "LeastLoadedPlacement",
+    "place_dataset",
+    "ImbalanceReport",
+    "device_load_timeseries",
+    "measure_imbalance",
+    "WEAR_POLICIES",
+    "WearLevelingFTL",
+    "WearReport",
+    "compare_wear_leveling",
+    "ParityCost",
+    "StripeLayout",
+    "compare_parity_schemes",
+    "rmw_cost",
+    "full_stripe_cost",
+    "parity_logging_cost",
+    "DeviceServiceModel",
+    "LatencyReport",
+    "queue_response_times",
+    "simulate_device_latencies",
+    "OffloadOpportunity",
+    "volume_offload_opportunity",
+    "dataset_offload_summary",
+]

@@ -1,0 +1,87 @@
+"""Load-balance measurement of a placement.
+
+Given a placement (volume -> device), build per-device load time series
+and quantify imbalance — the quantities the paper's load-balancing
+implications (Findings 1-4) are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..stats.timeseries import bucket_edges
+from ..trace.dataset import TraceDataset
+
+__all__ = ["ImbalanceReport", "measure_imbalance", "device_load_timeseries"]
+
+
+@dataclass(frozen=True)
+class ImbalanceReport:
+    """Per-interval device-load imbalance statistics.
+
+    All metrics are computed per interval across devices, then summarized
+    over intervals with >=1 request anywhere.
+    """
+
+    n_devices: int
+    interval: float
+    #: mean over intervals of (max device load / mean device load)
+    mean_peak_to_mean: float
+    #: 95th percentile over intervals of (max / mean)
+    p95_peak_to_mean: float
+    #: mean over intervals of the coefficient of variation of device loads
+    mean_cov: float
+    #: total requests handled by each device
+    device_totals: np.ndarray
+
+
+def device_load_timeseries(
+    dataset: TraceDataset,
+    placement: Dict[str, int],
+    n_devices: int,
+    interval: float = 60.0,
+) -> np.ndarray:
+    """Requests per (device, interval) matrix of shape (n_devices, n_intervals)."""
+    t0, t1 = dataset.start_time, dataset.end_time
+    edges = bucket_edges(t0, t1, interval)
+    n_int = len(edges) - 1
+    load = np.zeros((n_devices, n_int), dtype=np.int64)
+    for trace in dataset.volumes():
+        if len(trace) == 0:
+            continue
+        device = placement[trace.volume_id]
+        idx = np.minimum(((trace.timestamps - t0) / interval).astype(np.int64), n_int - 1)
+        load[device] += np.bincount(idx, minlength=n_int)
+    return load
+
+
+def measure_imbalance(
+    dataset: TraceDataset,
+    placement: Dict[str, int],
+    n_devices: int,
+    interval: float = 60.0,
+) -> ImbalanceReport:
+    """Quantify the load imbalance a placement produces."""
+    load = device_load_timeseries(dataset, placement, n_devices, interval)
+    totals = load.sum(axis=1)
+    per_interval_total = load.sum(axis=0)
+    busy = per_interval_total > 0
+    if not busy.any():
+        raise ValueError("dataset has no requests")
+    busy_load = load[:, busy].astype(np.float64)
+    means = busy_load.mean(axis=0)
+    maxes = busy_load.max(axis=0)
+    peak_to_mean = maxes / np.maximum(means, 1e-12)
+    stds = busy_load.std(axis=0)
+    cov = stds / np.maximum(means, 1e-12)
+    return ImbalanceReport(
+        n_devices=n_devices,
+        interval=interval,
+        mean_peak_to_mean=float(peak_to_mean.mean()),
+        p95_peak_to_mean=float(np.percentile(peak_to_mean, 95)),
+        mean_cov=float(cov.mean()),
+        device_totals=totals,
+    )

@@ -1,0 +1,98 @@
+"""Flash SSD device model.
+
+A minimal but faithful NAND abstraction: pages grouped into erase blocks,
+program/erase accounting, and wear tracking.  The FTL
+(:mod:`repro.cluster.ftl`) drives it; the paper's storage-cluster
+discussion (Findings 8, 11, 14) is about how workload patterns affect
+exactly these counters (write amplification, erase wear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SSDGeometry", "SSDDevice"]
+
+
+@dataclass(frozen=True)
+class SSDGeometry:
+    """Physical layout of the device.
+
+    Attributes:
+        n_blocks: number of erase blocks.
+        pages_per_block: pages per erase block.
+        page_size: bytes per page (the FTL maps one logical block per page).
+    """
+
+    n_blocks: int
+    pages_per_block: int
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0 or self.pages_per_block <= 0 or self.page_size <= 0:
+            raise ValueError("geometry dimensions must be positive")
+
+    @property
+    def n_pages(self) -> int:
+        return self.n_blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_pages * self.page_size
+
+
+class SSDDevice:
+    """Page-programmable, block-erasable flash device.
+
+    Enforces the NAND constraints: a page must be erased before it can be
+    programmed again, and erasure happens per block.  Tracks per-block
+    erase counts (wear) and total program/erase operations.
+    """
+
+    def __init__(self, geometry: SSDGeometry) -> None:
+        self.geometry = geometry
+        self._programmed = np.zeros(geometry.n_pages, dtype=bool)
+        self.erase_counts = np.zeros(geometry.n_blocks, dtype=np.int64)
+        self.programs = 0
+        self.erases = 0
+
+    def page_index(self, block: int, page: int) -> int:
+        g = self.geometry
+        if not 0 <= block < g.n_blocks:
+            raise ValueError(f"block {block} out of range")
+        if not 0 <= page < g.pages_per_block:
+            raise ValueError(f"page {page} out of range")
+        return block * g.pages_per_block + page
+
+    def is_programmed(self, page_idx: int) -> bool:
+        return bool(self._programmed[page_idx])
+
+    def program(self, page_idx: int) -> None:
+        """Program one page; programming a non-erased page is a bug in the
+        caller (the FTL), so it raises."""
+        if self._programmed[page_idx]:
+            raise RuntimeError(f"page {page_idx} programmed twice without erase")
+        self._programmed[page_idx] = True
+        self.programs += 1
+
+    def erase_block(self, block: int) -> None:
+        """Erase a whole block, freeing all its pages."""
+        g = self.geometry
+        lo = block * g.pages_per_block
+        self._programmed[lo : lo + g.pages_per_block] = False
+        self.erase_counts[block] += 1
+        self.erases += 1
+
+    @property
+    def max_erase_count(self) -> int:
+        return int(self.erase_counts.max())
+
+    @property
+    def wear_imbalance(self) -> float:
+        """Max-to-mean erase-count ratio; 1.0 is perfectly wear-leveled."""
+        mean = self.erase_counts.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.erase_counts.max() / mean)

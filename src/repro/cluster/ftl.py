@@ -1,0 +1,179 @@
+"""Page-mapped flash translation layer with greedy garbage collection.
+
+Connects workload update patterns (paper Findings 11 and 14) to flash
+write amplification: overwrites invalidate pages, GC relocates the live
+pages of victim blocks, and the relocation traffic is the amplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .device import SSDDevice, SSDGeometry
+
+__all__ = ["FTLStats", "PageMappedFTL"]
+
+
+@dataclass(frozen=True)
+class FTLStats:
+    """Accounting snapshot of an FTL run."""
+
+    host_writes: int
+    gc_writes: int
+    erases: int
+    live_pages: int
+
+    @property
+    def write_amplification(self) -> float:
+        """(host + GC page programs) / host page programs."""
+        if self.host_writes == 0:
+            return float("nan")
+        return (self.host_writes + self.gc_writes) / self.host_writes
+
+
+class PageMappedFTL:
+    """Log-structured page-mapped FTL over an :class:`SSDDevice`.
+
+    Logical blocks map to flash pages; writes append to an active block,
+    overwrites invalidate old pages, and greedy GC (fewest-live-pages
+    victim) reclaims space when free blocks fall to the reserve.
+
+    Args:
+        geometry: flash layout.
+        op_ratio: over-provisioning as a fraction of total capacity that
+            is never exposed to the host (default 0.07 ~ consumer SSD).
+        gc_free_block_reserve: GC triggers when free blocks fall below
+            this count (must leave room for GC itself to proceed).
+    """
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        op_ratio: float = 0.07,
+        gc_free_block_reserve: int = 2,
+    ) -> None:
+        if not 0 <= op_ratio < 1:
+            raise ValueError("op_ratio must be in [0, 1)")
+        if gc_free_block_reserve < 1:
+            raise ValueError("gc_free_block_reserve must be >= 1")
+        self.device = SSDDevice(geometry)
+        self.geometry = geometry
+        # The logical space must leave room for the GC reserve plus one
+        # active block, or GC can never free enough blocks to proceed.
+        hard_cap = geometry.n_pages - (gc_free_block_reserve + 1) * geometry.pages_per_block
+        if hard_cap <= 0:
+            raise ValueError(
+                "device too small for the GC reserve: "
+                f"{geometry.n_blocks} blocks, reserve {gc_free_block_reserve}"
+            )
+        self._logical_capacity = min(int(geometry.n_pages * (1 - op_ratio)), hard_cap)
+        self._map: Dict[int, int] = {}  # logical block -> page index
+        self._owner = np.full(geometry.n_pages, -1, dtype=np.int64)  # page -> logical (-1 invalid/free)
+        self._live_per_block = np.zeros(geometry.n_blocks, dtype=np.int64)
+        self._written_per_block = np.zeros(geometry.n_blocks, dtype=np.int64)
+        self._free_blocks: List[int] = list(range(geometry.n_blocks - 1, 0, -1))
+        self._active_block = 0
+        self._active_page = 0
+        self._reserve = gc_free_block_reserve
+        self.host_writes = 0
+        self.gc_writes = 0
+
+    @property
+    def logical_capacity_blocks(self) -> int:
+        """Number of logical blocks the host may address."""
+        return self._logical_capacity
+
+    @property
+    def mapped_blocks(self) -> int:
+        return len(self._map)
+
+    def _invalidate(self, logical: int) -> None:
+        page = self._map.get(logical)
+        if page is not None:
+            self._owner[page] = -1
+            self._live_per_block[page // self.geometry.pages_per_block] -= 1
+
+    def _take_free_block(self) -> int:
+        if not self._free_blocks:
+            raise RuntimeError("flash device out of free blocks (GC failed to keep up)")
+        return self._free_blocks.pop()
+
+    def _append(self, logical: int, counts_as_host: bool) -> None:
+        g = self.geometry
+        if self._active_page >= g.pages_per_block:
+            self._active_block = self._take_free_block()
+            self._active_page = 0
+        page = self.device.page_index(self._active_block, self._active_page)
+        self.device.program(page)
+        self._owner[page] = logical
+        self._live_per_block[self._active_block] += 1
+        self._written_per_block[self._active_block] += 1
+        self._map[logical] = page
+        self._active_page += 1
+        if counts_as_host:
+            self.host_writes += 1
+        else:
+            self.gc_writes += 1
+
+    def _gc_victim(self) -> Optional[int]:
+        """Greedy: the fully-written block with the fewest live pages.
+
+        A block with zero invalid pages is never picked — relocating a
+        fully-live block frees nothing and would let GC spin forever.
+        """
+        g = self.geometry
+        full = self._written_per_block >= g.pages_per_block
+        full[self._active_block] = False
+        full &= self._live_per_block < g.pages_per_block
+        if not full.any():
+            return None
+        candidates = np.where(full)[0]
+        return int(candidates[np.argmin(self._live_per_block[candidates])])
+
+    def _run_gc(self) -> None:
+        while len(self._free_blocks) < self._reserve:
+            victim = self._gc_victim()
+            if victim is None:
+                return
+            g = self.geometry
+            lo = victim * g.pages_per_block
+            live_pages = np.where(self._owner[lo : lo + g.pages_per_block] >= 0)[0]
+            logicals = [int(self._owner[lo + p]) for p in live_pages]
+            for logical in logicals:
+                self._invalidate(logical)
+            self.device.erase_block(victim)
+            self._live_per_block[victim] = 0
+            self._written_per_block[victim] = 0
+            self._free_blocks.insert(0, victim)
+            for logical in logicals:
+                self._append(logical, counts_as_host=False)
+
+    def write(self, logical: int) -> None:
+        """Host write of one logical block."""
+        if not 0 <= logical < self._logical_capacity:
+            raise ValueError(
+                f"logical block {logical} out of range [0, {self._logical_capacity})"
+            )
+        self._invalidate(logical)
+        self._append(logical, counts_as_host=True)
+        if len(self._free_blocks) < self._reserve:
+            self._run_gc()
+
+    def write_many(self, logicals: Iterable[int]) -> None:
+        for logical in logicals:
+            self.write(int(logical))
+
+    def read(self, logical: int) -> Optional[int]:
+        """Physical page of a logical block, or None if never written."""
+        return self._map.get(logical)
+
+    def stats(self) -> FTLStats:
+        return FTLStats(
+            host_writes=self.host_writes,
+            gc_writes=self.gc_writes,
+            erases=self.device.erases,
+            live_pages=len(self._map),
+        )

@@ -1,0 +1,82 @@
+"""Write offloading analysis (Narayanan et al., FAST'08; paper Finding 7).
+
+The paper observes that removing writes leaves most volumes idle for long
+stretches, so redirecting writes elsewhere lets primary volumes spin down
+for power savings.  This module measures exactly that opportunity: idle
+periods of the read-only request stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..trace.dataset import TraceDataset, VolumeTrace
+
+__all__ = ["OffloadOpportunity", "volume_offload_opportunity", "dataset_offload_summary"]
+
+
+@dataclass(frozen=True)
+class OffloadOpportunity:
+    """Idle-time analysis of one volume with writes offloaded.
+
+    An *idle period* is a gap of at least ``idle_threshold`` seconds
+    between consecutive reads (or trace boundaries).  ``idle_fraction`` is
+    the fraction of the observation window a spun-down volume could spend
+    idle if writes were redirected.
+    """
+
+    volume_id: str
+    idle_threshold: float
+    window: float
+    n_reads: int
+    n_idle_periods: int
+    idle_seconds: float
+
+    @property
+    def idle_fraction(self) -> float:
+        if self.window <= 0:
+            return float("nan")
+        return self.idle_seconds / self.window
+
+
+def volume_offload_opportunity(
+    trace: VolumeTrace,
+    t0: float,
+    t1: float,
+    idle_threshold: float = 60.0,
+) -> OffloadOpportunity:
+    """Measure the read-idle periods of one volume over ``[t0, t1]``.
+
+    Writes are assumed offloaded, so only reads interrupt idleness.
+    """
+    if t1 <= t0:
+        raise ValueError("t1 must exceed t0")
+    if idle_threshold <= 0:
+        raise ValueError("idle_threshold must be positive")
+    reads = trace.timestamps[~trace.is_write]
+    reads = reads[(reads >= t0) & (reads <= t1)]
+    boundaries = np.concatenate([[t0], reads, [t1]])
+    gaps = np.diff(boundaries)
+    idle = gaps[gaps >= idle_threshold]
+    return OffloadOpportunity(
+        volume_id=trace.volume_id,
+        idle_threshold=idle_threshold,
+        window=t1 - t0,
+        n_reads=len(reads),
+        n_idle_periods=len(idle),
+        idle_seconds=float(idle.sum()),
+    )
+
+
+def dataset_offload_summary(
+    dataset: TraceDataset, idle_threshold: float = 60.0
+) -> List[OffloadOpportunity]:
+    """Per-volume offload opportunities over the dataset's full span."""
+    t0, t1 = dataset.start_time, dataset.end_time
+    return [
+        volume_offload_opportunity(v, t0, t1, idle_threshold)
+        for v in dataset.volumes()
+    ]

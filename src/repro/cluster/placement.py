@@ -1,0 +1,94 @@
+"""Volume-to-device placement policies.
+
+The paper's load-balancing discussion (Section V) asks how volumes should
+be spread over storage devices given diverse intensities and burstiness.
+A placement policy maps each volume to a device; the balancer
+(:mod:`repro.cluster.balancer`) measures the resulting imbalance.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from typing import Dict, List, Sequence
+
+from ..trace.dataset import TraceDataset, VolumeTrace
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "HashPlacement",
+    "LeastLoadedPlacement",
+    "place_dataset",
+]
+
+
+class PlacementPolicy(abc.ABC):
+    """Assigns volumes to ``n_devices`` devices."""
+
+    name: str = "base"
+
+    def __init__(self, n_devices: int) -> None:
+        if n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        self.n_devices = n_devices
+
+    @abc.abstractmethod
+    def place(self, volumes: Sequence[VolumeTrace]) -> Dict[str, int]:
+        """Map volume id -> device index."""
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Volumes assigned cyclically in the given order (capacity-oblivious)."""
+
+    name = "round-robin"
+
+    def place(self, volumes: Sequence[VolumeTrace]) -> Dict[str, int]:
+        return {v.volume_id: i % self.n_devices for i, v in enumerate(volumes)}
+
+
+class HashPlacement(PlacementPolicy):
+    """Stable hash of the volume id (what a stateless dispatcher can do)."""
+
+    name = "hash"
+
+    def place(self, volumes: Sequence[VolumeTrace]) -> Dict[str, int]:
+        out = {}
+        for v in volumes:
+            digest = hashlib.blake2b(v.volume_id.encode(), digest_size=8).digest()
+            out[v.volume_id] = int.from_bytes(digest, "big") % self.n_devices
+        return out
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Greedy longest-processing-time assignment by total request count.
+
+    Volumes are sorted by descending load and each goes to the currently
+    least-loaded device — the classic LPT makespan heuristic, using the
+    observed (or historically estimated) per-volume load.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, n_devices: int, by: str = "requests") -> None:
+        super().__init__(n_devices)
+        if by not in ("requests", "bytes"):
+            raise ValueError("by must be 'requests' or 'bytes'")
+        self.by = by
+
+    def _load(self, volume: VolumeTrace) -> float:
+        return float(len(volume) if self.by == "requests" else volume.total_bytes)
+
+    def place(self, volumes: Sequence[VolumeTrace]) -> Dict[str, int]:
+        loads: List[float] = [0.0] * self.n_devices
+        out: Dict[str, int] = {}
+        for v in sorted(volumes, key=self._load, reverse=True):
+            device = min(range(self.n_devices), key=loads.__getitem__)
+            out[v.volume_id] = device
+            loads[device] += self._load(v)
+        return out
+
+
+def place_dataset(dataset: TraceDataset, policy: PlacementPolicy) -> Dict[str, int]:
+    """Place every volume of a dataset using the policy."""
+    return policy.place(dataset.volumes())

@@ -1,0 +1,133 @@
+"""Wear-leveling policies for the FTL substrate.
+
+The paper's storage-cluster discussion (Findings 11 and 14) notes that
+varying update patterns harm flash wear leveling.  This module extends
+the page-mapped FTL with pluggable free-block selection:
+
+* ``"none"``        — LIFO free-block reuse (the baseline FTL behaviour),
+* ``"dynamic"``     — always allocate the free block with the lowest
+                      erase count (classic dynamic wear leveling),
+* ``"threshold"``   — dynamic allocation plus cold-data swaps when the
+                      erase-count spread exceeds a threshold (a light
+                      form of static wear leveling).
+
+``compare_wear_leveling`` replays the same write stream under each
+policy and reports wear imbalance and write amplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from .device import SSDGeometry
+from .ftl import FTLStats, PageMappedFTL
+
+__all__ = ["WearLevelingFTL", "WearReport", "compare_wear_leveling", "WEAR_POLICIES"]
+
+WEAR_POLICIES = ("none", "dynamic", "threshold")
+
+
+class WearLevelingFTL(PageMappedFTL):
+    """Page-mapped FTL with a wear-aware free-block allocator.
+
+    Args:
+        policy: one of :data:`WEAR_POLICIES`.
+        wear_delta_threshold: for ``"threshold"``, trigger a cold-swap
+            when (max - min) erase count exceeds this value.
+    """
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        policy: str = "dynamic",
+        op_ratio: float = 0.07,
+        gc_free_block_reserve: int = 2,
+        wear_delta_threshold: int = 8,
+    ) -> None:
+        if policy not in WEAR_POLICIES:
+            raise ValueError(f"unknown wear policy: {policy!r} (expected {WEAR_POLICIES})")
+        super().__init__(geometry, op_ratio, gc_free_block_reserve)
+        self.policy = policy
+        self.wear_delta_threshold = wear_delta_threshold
+        self.cold_swaps = 0
+
+    def _take_free_block(self) -> int:
+        if self.policy == "none" or len(self._free_blocks) <= 1:
+            return super()._take_free_block()
+        # Dynamic wear leveling: among free blocks, pick the least-worn.
+        counts = self.device.erase_counts
+        best_idx = min(
+            range(len(self._free_blocks)), key=lambda i: counts[self._free_blocks[i]]
+        )
+        return self._free_blocks.pop(best_idx)
+
+    def _maybe_cold_swap(self) -> None:
+        """Relocate the live data of the least-worn full block so the block
+        becomes erasable — classic static wear leveling."""
+        counts = self.device.erase_counts
+        spread = int(counts.max() - counts.min())
+        if spread < self.wear_delta_threshold:
+            return
+        g = self.geometry
+        full = self._written_per_block >= g.pages_per_block
+        full[self._active_block] = False
+        if not full.any():
+            return
+        candidates = np.where(full)[0]
+        victim = int(candidates[np.argmin(counts[candidates])])
+        # Relocate the victim's live pages and erase it, even though it may
+        # hold little garbage — that is the point of a cold swap.
+        lo = victim * g.pages_per_block
+        live_pages = np.where(self._owner[lo : lo + g.pages_per_block] >= 0)[0]
+        logicals = [int(self._owner[lo + p]) for p in live_pages]
+        for logical in logicals:
+            self._invalidate(logical)
+        self.device.erase_block(victim)
+        self._live_per_block[victim] = 0
+        self._written_per_block[victim] = 0
+        self._free_blocks.insert(0, victim)
+        for logical in logicals:
+            self._append(logical, counts_as_host=False)
+        self.cold_swaps += 1
+
+    def write(self, logical: int) -> None:
+        super().write(logical)
+        if self.policy == "threshold":
+            self._maybe_cold_swap()
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Outcome of one policy on one write stream."""
+
+    policy: str
+    stats: FTLStats
+    wear_imbalance: float
+    max_erase: int
+    cold_swaps: int
+
+
+def compare_wear_leveling(
+    writes: Iterable[int],
+    geometry: SSDGeometry,
+    policies: Iterable[str] = WEAR_POLICIES,
+    op_ratio: float = 0.1,
+) -> Dict[str, WearReport]:
+    """Replay the same logical write stream under each wear policy."""
+    writes = list(writes)
+    out: Dict[str, WearReport] = {}
+    for policy in policies:
+        ftl = WearLevelingFTL(geometry, policy=policy, op_ratio=op_ratio)
+        capacity = ftl.logical_capacity_blocks
+        ftl.write_many(w % capacity for w in writes)
+        out[policy] = WearReport(
+            policy=policy,
+            stats=ftl.stats(),
+            wear_imbalance=ftl.device.wear_imbalance,
+            max_erase=ftl.device.max_erase_count,
+            cold_swaps=ftl.cold_swaps,
+        )
+    return out

@@ -1,0 +1,184 @@
+"""Characterization metrics: the paper's primary contribution.
+
+Organized along the paper's three analysis axes — load intensity
+(:mod:`~repro.core.load_intensity`), spatial patterns
+(:mod:`~repro.core.spatial`), temporal patterns
+(:mod:`~repro.core.temporal`) — plus fleet aggregation, cache analysis,
+per-volume profiles, the 15 findings, and text reporting.
+"""
+
+from ..trace.blocks import (
+    BlockEvents,
+    block_events,
+    block_range,
+    block_traffic,
+    expand_to_blocks,
+    unique_blocks,
+    working_set_size,
+)
+from .load_intensity import (
+    DEFAULT_ACTIVITY_INTERVAL,
+    DEFAULT_PEAK_INTERVAL,
+    ActiveVolumeTimeseries,
+    OverallIntensity,
+    active_days,
+    active_period_seconds,
+    active_volume_timeseries,
+    average_intensity,
+    burstiness_ratio,
+    interarrival_percentile_groups,
+    interarrival_times,
+    overall_intensity,
+    peak_intensity,
+    write_read_ratio,
+)
+from .spatial import (
+    DEFAULT_RANDOMNESS_THRESHOLD,
+    DEFAULT_RANDOMNESS_WINDOW,
+    MOSTLY_THRESHOLD,
+    MostlyTraffic,
+    WorkingSets,
+    dataset_mostly_traffic,
+    mostly_traffic,
+    random_request_mask,
+    randomness_ratio,
+    topk_block_traffic_fraction,
+    update_coverage,
+    working_sets,
+)
+from .temporal import (
+    TRANSITION_TYPES,
+    AdjacentAccessTimes,
+    adjacent_access_counts,
+    adjacent_access_times,
+    dataset_adjacent_access_times,
+    dataset_update_intervals,
+    update_intervals,
+)
+from .cache_analysis import (
+    DEFAULT_CACHE_FRACTIONS,
+    MissRatioSummary,
+    VolumeCacheResult,
+    dataset_miss_ratios,
+    volume_miss_ratios,
+)
+from .aggregate import (
+    TIB,
+    BasicStatistics,
+    active_days_cdf,
+    basic_statistics,
+    request_size_cdf,
+    volume_mean_size_cdf,
+    write_read_ratio_cdf,
+)
+from .volume_profile import VolumeProfile, compute_profile
+from .experiments import EXPERIMENTS, ExperimentContext, render_experiments
+from .comparison import DatasetSummary, WorkloadComparison, compare_datasets
+from .hotspots import ZipfFit, concentration_curve, fit_zipf, ranked_block_traffic
+from .seasonality import PeriodEstimate, autocorrelation, detect_period
+from .streaming_profile import (
+    StreamingVolumeProfile,
+    StreamingVolumeProfiler,
+    stream_profile_requests,
+)
+from .findings import FINDING_TITLES, Finding, evaluate_findings
+from .report import (
+    ascii_cdf,
+    ascii_curve,
+    format_boxplot_rows,
+    format_bytes,
+    format_cdf,
+    format_duration,
+    format_table,
+)
+
+__all__ = [
+    # blocks
+    "BlockEvents",
+    "block_events",
+    "block_range",
+    "block_traffic",
+    "expand_to_blocks",
+    "unique_blocks",
+    "working_set_size",
+    # load intensity
+    "DEFAULT_ACTIVITY_INTERVAL",
+    "DEFAULT_PEAK_INTERVAL",
+    "ActiveVolumeTimeseries",
+    "OverallIntensity",
+    "active_days",
+    "active_period_seconds",
+    "active_volume_timeseries",
+    "average_intensity",
+    "burstiness_ratio",
+    "interarrival_percentile_groups",
+    "interarrival_times",
+    "overall_intensity",
+    "peak_intensity",
+    "write_read_ratio",
+    # spatial
+    "DEFAULT_RANDOMNESS_THRESHOLD",
+    "DEFAULT_RANDOMNESS_WINDOW",
+    "MOSTLY_THRESHOLD",
+    "MostlyTraffic",
+    "WorkingSets",
+    "dataset_mostly_traffic",
+    "mostly_traffic",
+    "random_request_mask",
+    "randomness_ratio",
+    "topk_block_traffic_fraction",
+    "update_coverage",
+    "working_sets",
+    # temporal
+    "TRANSITION_TYPES",
+    "AdjacentAccessTimes",
+    "adjacent_access_counts",
+    "adjacent_access_times",
+    "dataset_adjacent_access_times",
+    "dataset_update_intervals",
+    "update_intervals",
+    # cache analysis
+    "DEFAULT_CACHE_FRACTIONS",
+    "MissRatioSummary",
+    "VolumeCacheResult",
+    "dataset_miss_ratios",
+    "volume_miss_ratios",
+    # aggregate
+    "TIB",
+    "BasicStatistics",
+    "active_days_cdf",
+    "basic_statistics",
+    "request_size_cdf",
+    "volume_mean_size_cdf",
+    "write_read_ratio_cdf",
+    # profiles & findings
+    "VolumeProfile",
+    "compute_profile",
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "render_experiments",
+    "StreamingVolumeProfile",
+    "StreamingVolumeProfiler",
+    "stream_profile_requests",
+    "DatasetSummary",
+    "WorkloadComparison",
+    "compare_datasets",
+    "ZipfFit",
+    "concentration_curve",
+    "fit_zipf",
+    "ranked_block_traffic",
+    "PeriodEstimate",
+    "autocorrelation",
+    "detect_period",
+    "FINDING_TITLES",
+    "Finding",
+    "evaluate_findings",
+    # report
+    "ascii_cdf",
+    "ascii_curve",
+    "format_boxplot_rows",
+    "format_bytes",
+    "format_cdf",
+    "format_duration",
+    "format_table",
+]

@@ -1,0 +1,94 @@
+"""Diurnal / periodic load-pattern detection.
+
+Interactive cloud applications carry daily rhythms; the synthetic fleets
+model them with sinusoidal arrival modulation.  This module detects such
+periodicity from a request stream: bucket the timestamps, autocorrelate
+the per-interval counts, and report the dominant period and its strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..stats.timeseries import bucket_counts
+from ..trace.dataset import VolumeTrace
+
+__all__ = ["PeriodEstimate", "autocorrelation", "detect_period"]
+
+
+@dataclass(frozen=True)
+class PeriodEstimate:
+    """Dominant periodicity of a request-rate series."""
+
+    #: period in seconds (NaN when nothing periodic was found)
+    period: float
+    #: autocorrelation value at the detected period (0..1 scale)
+    strength: float
+    #: bucketing interval used
+    interval: float
+
+    @property
+    def detected(self) -> bool:
+        return np.isfinite(self.period)
+
+
+def autocorrelation(series: np.ndarray, max_lag: int) -> np.ndarray:
+    """Normalized autocorrelation of a series for lags ``1..max_lag``.
+
+    Mean-removed, biased estimator normalized by lag-0 variance; values
+    fall in [-1, 1].
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if len(x) < 2:
+        raise ValueError("series too short")
+    if max_lag < 1 or max_lag >= len(x):
+        raise ValueError("max_lag must be in [1, len(series))")
+    x = x - x.mean()
+    denom = float(np.dot(x, x))
+    if denom == 0:
+        return np.zeros(max_lag)
+    return np.array(
+        [float(np.dot(x[: len(x) - lag], x[lag:])) / denom for lag in range(1, max_lag + 1)]
+    )
+
+
+def detect_period(
+    trace: VolumeTrace,
+    interval: float,
+    min_period: Optional[float] = None,
+    max_period: Optional[float] = None,
+    min_strength: float = 0.15,
+) -> PeriodEstimate:
+    """Detect the dominant period of a volume's request rate.
+
+    The per-``interval`` request counts are autocorrelated; the largest
+    local-maximum lag inside ``[min_period, max_period]`` whose
+    autocorrelation exceeds ``min_strength`` is reported.  Returns a
+    non-detection (NaN period) for aperiodic volumes.
+    """
+    if len(trace) < 4:
+        return PeriodEstimate(float("nan"), 0.0, interval)
+    _, counts = bucket_counts(trace.timestamps, interval)
+    n = len(counts)
+    if n < 8:
+        return PeriodEstimate(float("nan"), 0.0, interval)
+    lo_lag = max(2, int(np.ceil((min_period or 2 * interval) / interval)))
+    hi_lag = int(np.floor((max_period or (n // 2) * interval) / interval))
+    hi_lag = min(hi_lag, n - 2)
+    if hi_lag < lo_lag:
+        return PeriodEstimate(float("nan"), 0.0, interval)
+    ac = autocorrelation(counts, hi_lag)
+    # Local maxima within the window (1-based lags -> 0-based array).
+    best_lag, best_val = None, min_strength
+    for lag in range(lo_lag, hi_lag + 1):
+        val = ac[lag - 1]
+        left = ac[lag - 2] if lag >= 2 else -np.inf
+        right = ac[lag] if lag < hi_lag else -np.inf
+        if val > best_val and val >= left and val >= right:
+            best_lag, best_val = lag, val
+    if best_lag is None:
+        return PeriodEstimate(float("nan"), 0.0, interval)
+    return PeriodEstimate(best_lag * interval, float(best_val), interval)

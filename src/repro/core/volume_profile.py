@@ -1,0 +1,139 @@
+"""Per-volume characterization profiles.
+
+A :class:`VolumeProfile` bundles every per-volume metric the paper uses,
+so examples, the CLI, and downstream tooling can characterize a volume in
+one call and serialize the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..trace.dataset import VolumeTrace
+from ..trace.record import DEFAULT_BLOCK_SIZE
+from .cache_analysis import volume_miss_ratios
+from .load_intensity import (
+    average_intensity,
+    burstiness_ratio,
+    peak_intensity,
+    write_read_ratio,
+)
+from .spatial import (
+    WorkingSets,
+    mostly_traffic,
+    randomness_ratio,
+    topk_block_traffic_fraction,
+    update_coverage,
+    working_sets,
+)
+from .temporal import adjacent_access_times, update_intervals
+
+__all__ = ["VolumeProfile", "compute_profile"]
+
+
+@dataclass(frozen=True)
+class VolumeProfile:
+    """All per-volume metrics from the paper's three analysis axes."""
+
+    volume_id: str
+    n_requests: int
+    n_reads: int
+    n_writes: int
+    read_bytes: int
+    write_bytes: int
+    duration_seconds: float
+    # Load intensity.
+    average_intensity: float
+    peak_intensity: float
+    burstiness_ratio: float
+    write_read_ratio: float
+    # Spatial patterns.
+    randomness_ratio: float
+    working_sets: WorkingSets
+    update_coverage: float
+    top1_read_traffic: float
+    top10_read_traffic: float
+    top1_write_traffic: float
+    top10_write_traffic: float
+    read_to_read_mostly: float
+    write_to_write_mostly: float
+    # Temporal patterns.
+    median_raw_time: float
+    median_waw_time: float
+    median_rar_time: float
+    median_war_time: float
+    median_update_interval: float
+    # Caching (LRU at 1% and 10% of WSS).
+    read_miss_ratio_1pct: float
+    write_miss_ratio_1pct: float
+    read_miss_ratio_10pct: float
+    write_miss_ratio_10pct: float
+
+    @property
+    def is_write_dominant(self) -> bool:
+        """Write-to-read ratio exceeds 1 (paper Section III-C)."""
+        return self.write_read_ratio > 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serializable dict (NaN preserved as float)."""
+        d = asdict(self)
+        d["working_sets"] = asdict(self.working_sets)
+        return d
+
+
+def _median_or_nan(values: np.ndarray) -> float:
+    return float(np.median(values)) if len(values) else float("nan")
+
+
+def compute_profile(
+    trace: VolumeTrace, block_size: int = DEFAULT_BLOCK_SIZE
+) -> VolumeProfile:
+    """Compute the full characterization profile of one volume."""
+    at = adjacent_access_times(trace, block_size)
+    intervals = update_intervals(trace, block_size)
+    mostly = mostly_traffic(trace, block_size=block_size)
+    miss = {
+        (r.cache_fraction): r
+        for r in volume_miss_ratios(trace, (0.01, 0.10), block_size)
+    }
+
+    def miss_ratio(frac: float, op: str) -> float:
+        res = miss.get(frac)
+        if res is None:
+            return float("nan")
+        return res.read_miss_ratio if op == "read" else res.write_miss_ratio
+
+    return VolumeProfile(
+        volume_id=trace.volume_id,
+        n_requests=len(trace),
+        n_reads=trace.n_reads,
+        n_writes=trace.n_writes,
+        read_bytes=trace.read_bytes,
+        write_bytes=trace.write_bytes,
+        duration_seconds=trace.duration if len(trace) else 0.0,
+        average_intensity=average_intensity(trace),
+        peak_intensity=peak_intensity(trace),
+        burstiness_ratio=burstiness_ratio(trace),
+        write_read_ratio=write_read_ratio(trace),
+        randomness_ratio=randomness_ratio(trace),
+        working_sets=working_sets(trace, block_size),
+        update_coverage=update_coverage(trace, block_size),
+        top1_read_traffic=topk_block_traffic_fraction(trace, 0.01, "read", block_size),
+        top10_read_traffic=topk_block_traffic_fraction(trace, 0.10, "read", block_size),
+        top1_write_traffic=topk_block_traffic_fraction(trace, 0.01, "write", block_size),
+        top10_write_traffic=topk_block_traffic_fraction(trace, 0.10, "write", block_size),
+        read_to_read_mostly=mostly.read_to_read_mostly,
+        write_to_write_mostly=mostly.write_to_write_mostly,
+        median_raw_time=_median_or_nan(at.raw),
+        median_waw_time=_median_or_nan(at.waw),
+        median_rar_time=_median_or_nan(at.rar),
+        median_war_time=_median_or_nan(at.war),
+        median_update_interval=_median_or_nan(intervals),
+        read_miss_ratio_1pct=miss_ratio(0.01, "read"),
+        write_miss_ratio_1pct=miss_ratio(0.01, "write"),
+        read_miss_ratio_10pct=miss_ratio(0.10, "read"),
+        write_miss_ratio_10pct=miss_ratio(0.10, "write"),
+    )

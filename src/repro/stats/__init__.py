@@ -1,0 +1,34 @@
+"""Statistics toolkit: CDFs, boxplots, quantiles, histograms, bucketing."""
+
+from .cdf import EmpiricalCDF
+from .boxplot import BoxplotStats
+from .quantiles import PAPER_PERCENTILES, percentile_groups, percentile_table
+from .histogram import Histogram, duration_group_fractions, linear_histogram, log_histogram
+from .timeseries import bucket_counts, bucket_edges, interval_activity, max_interval_count
+from .streaming import ReservoirSampler, StreamingMinMax, StreamingMoments
+from .fitting import CANDIDATES, DistributionFit, best_fit, fit_distributions
+from .hll import HyperLogLog
+
+__all__ = [
+    "EmpiricalCDF",
+    "BoxplotStats",
+    "PAPER_PERCENTILES",
+    "percentile_table",
+    "percentile_groups",
+    "Histogram",
+    "linear_histogram",
+    "log_histogram",
+    "duration_group_fractions",
+    "bucket_counts",
+    "bucket_edges",
+    "interval_activity",
+    "max_interval_count",
+    "StreamingMoments",
+    "StreamingMinMax",
+    "ReservoirSampler",
+    "CANDIDATES",
+    "DistributionFit",
+    "fit_distributions",
+    "best_fit",
+    "HyperLogLog",
+]

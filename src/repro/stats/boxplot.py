@@ -1,0 +1,81 @@
+"""Boxplot (five-number-summary) statistics.
+
+The paper presents several figures as boxplots (inter-arrival percentiles,
+top-k% traffic aggregation, update intervals, LRU miss ratios).  This module
+computes the standard Tukey summary: quartiles, 1.5-IQR whiskers clipped to
+the data, and outliers beyond the whiskers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["BoxplotStats"]
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Tukey boxplot summary of a sample."""
+
+    n: int
+    mean: float
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: np.ndarray = field(repr=False)
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    @property
+    def n_outliers(self) -> int:
+        return len(self.outliers)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BoxplotStats":
+        """Compute the summary; whiskers extend to the most extreme data
+        points within 1.5 IQR of the quartiles (matplotlib convention)."""
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.ndim != 1:
+            arr = arr.ravel()
+        if len(arr) == 0:
+            raise ValueError("cannot summarize an empty sample")
+        if np.any(np.isnan(arr)):
+            raise ValueError("sample contains NaN")
+        q1, median, q3 = np.percentile(arr, [25, 50, 75])
+        iqr = q3 - q1
+        lo_fence = q1 - 1.5 * iqr
+        hi_fence = q3 + 1.5 * iqr
+        inside = arr[(arr >= lo_fence) & (arr <= hi_fence)]
+        # Whiskers are the most extreme in-fence data points, clamped to
+        # the box so skewed samples keep whisker_low <= q1 <= q3 <=
+        # whisker_high (matplotlib's convention).
+        whisker_low = min(float(inside.min()), float(q1)) if len(inside) else float(q1)
+        whisker_high = max(float(inside.max()), float(q3)) if len(inside) else float(q3)
+        outliers = np.sort(arr[(arr < lo_fence) | (arr > hi_fence)])
+        return cls(
+            n=len(arr),
+            mean=float(arr.mean()),
+            q1=float(q1),
+            median=float(median),
+            q3=float(q3),
+            whisker_low=whisker_low,
+            whisker_high=whisker_high,
+            outliers=outliers,
+        )
+
+    def row(self) -> List[float]:
+        """Summary as ``[whisker_low, q1, median, q3, whisker_high]``."""
+        return [self.whisker_low, self.q1, self.median, self.q3, self.whisker_high]
+
+    def format(self, fmt: str = "{:.3g}") -> str:
+        """One-line human-readable rendering."""
+        vals = " / ".join(fmt.format(v) for v in self.row())
+        return f"[{vals}] (n={self.n}, outliers={self.n_outliers})"

@@ -1,0 +1,115 @@
+"""Empirical cumulative distribution functions.
+
+Every CDF figure in the paper (request sizes, burstiness ratios, update
+coverage, RAW/WAW times, ...) is an :class:`EmpiricalCDF` over one metric
+evaluated across requests or volumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF"]
+
+
+class EmpiricalCDF:
+    """Right-continuous empirical CDF of a finite sample.
+
+    ``cdf(x)`` is the fraction of samples ``<= x``; quantiles use the
+    inverse (lower) convention so that ``quantile(cdf(x)) <= x`` always
+    holds on the sample points.
+    """
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.ndim != 1:
+            arr = arr.ravel()
+        if len(arr) == 0:
+            raise ValueError("cannot build a CDF from an empty sample")
+        if np.any(np.isnan(arr)):
+            raise ValueError("sample contains NaN")
+        self._sorted = np.sort(arr)
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return len(self._sorted)
+
+    @property
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._sorted[-1])
+
+    @property
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def __call__(self, x: float) -> float:
+        """Fraction of samples ``<= x``."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / self.n
+
+    def evaluate(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`__call__`."""
+        idx = np.searchsorted(self._sorted, np.asarray(xs, dtype=np.float64), side="right")
+        return idx / self.n
+
+    def fraction_below(self, x: float) -> float:
+        """Fraction of samples strictly ``< x``."""
+        return float(np.searchsorted(self._sorted, x, side="left")) / self.n
+
+    def fraction_above(self, x: float) -> float:
+        """Fraction of samples strictly ``> x``."""
+        return 1.0 - self(x)
+
+    def fraction_at_least(self, x: float) -> float:
+        """Fraction of samples ``>= x``."""
+        return 1.0 - self.fraction_below(x)
+
+    def quantile(self, q: float) -> float:
+        """Lower empirical quantile: smallest sample value with CDF >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.min
+        idx = int(np.ceil(q * self.n)) - 1
+        return float(self._sorted[idx])
+
+    def percentile(self, p: float) -> float:
+        """Quantile expressed in percent (``p`` in [0, 100])."""
+        return self.quantile(p / 100.0)
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self, max_points: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """The CDF as plottable ``(x, F(x))`` arrays.
+
+        With ``max_points > 0``, the series is downsampled to roughly that
+        many points (always keeping the first and last).
+        """
+        xs = self._sorted
+        ys = np.arange(1, self.n + 1, dtype=np.float64) / self.n
+        if max_points and self.n > max_points:
+            idx = np.unique(
+                np.concatenate(
+                    [np.linspace(0, self.n - 1, max_points).astype(int), [self.n - 1]]
+                )
+            )
+            xs, ys = xs[idx], ys[idx]
+        return xs.copy(), ys
+
+    def summary(self, percentiles: Sequence[float] = (25, 50, 75, 90, 95)) -> List[Tuple[float, float]]:
+        """``(percentile, value)`` pairs for a quick textual summary."""
+        return [(p, self.percentile(p)) for p in percentiles]
+
+    def __repr__(self) -> str:
+        return (
+            f"EmpiricalCDF(n={self.n}, min={self.min:.4g}, "
+            f"median={self.median:.4g}, max={self.max:.4g})"
+        )

@@ -1,0 +1,91 @@
+"""Histogram utilities, including log-spaced binning for heavy-tailed metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Histogram", "linear_histogram", "log_histogram", "duration_group_fractions"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Binned counts with edges; ``counts[i]`` covers ``[edges[i], edges[i+1])``."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def fractions(self) -> np.ndarray:
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+    @property
+    def centers(self) -> np.ndarray:
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    def cumulative_fractions(self) -> np.ndarray:
+        """Cumulative fraction at each right bin edge."""
+        return np.cumsum(self.fractions)
+
+
+def linear_histogram(samples: Sequence[float], n_bins: int, lo: float, hi: float) -> Histogram:
+    """Histogram over ``n_bins`` equal-width bins spanning ``[lo, hi]``."""
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    counts, edges = np.histogram(np.asarray(samples, dtype=np.float64), bins=n_bins, range=(lo, hi))
+    return Histogram(edges=edges, counts=counts)
+
+
+def log_histogram(
+    samples: Sequence[float], n_bins: int = 50, lo: float = 0.0, hi: float = 0.0
+) -> Histogram:
+    """Histogram with logarithmically spaced bins.
+
+    Suited to heavy-tailed quantities (inter-arrival times, update
+    intervals).  All samples must be positive; ``lo``/``hi`` default to the
+    sample extremes.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("cannot histogram an empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("log histogram requires strictly positive samples")
+    lo = lo or float(arr.min())
+    hi = hi or float(arr.max())
+    if hi <= lo:
+        hi = lo * 1.0000001 + 1e-12
+    edges = np.logspace(np.log10(lo), np.log10(hi), n_bins + 1)
+    # Guard against logspace rounding dropping the extreme samples.
+    edges[0] = min(edges[0], lo)
+    edges[-1] = max(edges[-1], hi)
+    counts, edges = np.histogram(arr, bins=edges)
+    return Histogram(edges=edges, counts=counts)
+
+
+def duration_group_fractions(
+    samples: Sequence[float], boundaries: Sequence[float]
+) -> np.ndarray:
+    """Fractions of samples falling into duration groups.
+
+    ``boundaries`` of length k splits the line into k+1 groups
+    ``(-inf, b0), [b0, b1), ..., [b_{k-1}, inf)`` — the paper's Figure 17
+    uses boundaries (300 s, 1800 s, 14400 s) giving four groups.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("cannot group an empty sample")
+    b = np.asarray(boundaries, dtype=np.float64)
+    if np.any(np.diff(b) <= 0):
+        raise ValueError("boundaries must be strictly increasing")
+    idx = np.searchsorted(b, arr, side="right")
+    counts = np.bincount(idx, minlength=len(b) + 1)
+    return counts / len(arr)

@@ -1,0 +1,44 @@
+"""Quantile helpers shared by the characterization metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["percentile_table", "percentile_groups", "PAPER_PERCENTILES"]
+
+#: Percentile groups used repeatedly by the paper (Findings 4 and 14).
+PAPER_PERCENTILES = (25, 50, 75, 90, 95)
+
+
+def percentile_table(
+    samples: Sequence[float], percentiles: Sequence[float] = PAPER_PERCENTILES
+) -> Dict[float, float]:
+    """Map each requested percentile to its value in the sample."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("cannot take percentiles of an empty sample")
+    values = np.percentile(arr, list(percentiles))
+    return {float(p): float(v) for p, v in zip(percentiles, values)}
+
+
+def percentile_groups(
+    per_unit_samples: Sequence[Sequence[float]],
+    percentiles: Sequence[float] = PAPER_PERCENTILES,
+) -> Dict[float, np.ndarray]:
+    """Per-unit percentile groups (the paper's Figure 7 / Figure 16 scheme).
+
+    For each unit (volume) compute the requested percentiles of its own
+    sample; return, for each percentile, the array of that percentile's
+    value across units.  Units with empty samples are skipped.
+    """
+    out: Dict[float, list] = {float(p): [] for p in percentiles}
+    for samples in per_unit_samples:
+        arr = np.asarray(samples, dtype=np.float64)
+        if len(arr) == 0:
+            continue
+        values = np.percentile(arr, list(percentiles))
+        for p, v in zip(percentiles, values):
+            out[float(p)].append(float(v))
+    return {p: np.asarray(v, dtype=np.float64) for p, v in out.items()}

@@ -1,0 +1,77 @@
+"""Sampling primitives used by the workload models."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ZipfSampler", "bounded_lognormal", "categorical"]
+
+
+class ZipfSampler:
+    """Bounded Zipfian sampler over ranks ``0 .. n-1``.
+
+    ``P(rank k) ∝ (k + 1) ** -s``.  Skewed block popularity in storage
+    workloads is classically Zipf-like; ``s`` around 1 gives the hot-spot
+    aggregation the paper's Finding 9 reports.  Sampling is by inverse CDF
+    (binary search over the cumulative weights), so draws are O(log n).
+    """
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if s < 0:
+            raise ValueError("s must be non-negative")
+        self.n = n
+        self.s = s
+        weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-s)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` ranks (int64, 0-based)."""
+        u = rng.random(size)
+        return np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+
+    def pmf(self, rank: int) -> float:
+        """Probability of a given rank."""
+        if not 0 <= rank < self.n:
+            raise ValueError("rank out of range")
+        lo = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - lo)
+
+
+def bounded_lognormal(
+    rng: np.random.Generator,
+    size: int,
+    median: float,
+    sigma: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> np.ndarray:
+    """Lognormal draws parameterized by their median, clipped to [lo, hi].
+
+    Heavy-tailed per-volume parameters (arrival rates, working-set sizes)
+    are drawn from lognormals; the median parameterization keeps fleet
+    calibration direct (paper reports medians).
+    """
+    if median <= 0:
+        raise ValueError("median must be positive")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    draws = rng.lognormal(mean=np.log(median), sigma=sigma, size=size)
+    if lo is not None or hi is not None:
+        draws = np.clip(draws, lo, hi)
+    return draws
+
+
+def categorical(rng: np.random.Generator, probabilities: Sequence[float], size: int) -> np.ndarray:
+    """Draw category indices with the given probabilities (must sum to ~1)."""
+    p = np.asarray(probabilities, dtype=np.float64)
+    if np.any(p < 0):
+        raise ValueError("probabilities must be non-negative")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"probabilities must sum to 1, got {total}")
+    return rng.choice(len(p), size=size, p=p / total)

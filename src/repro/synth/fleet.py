@@ -1,0 +1,103 @@
+"""Fleet assembly: turn archetype mixtures into a :class:`TraceDataset`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trace.dataset import TraceDataset
+from .archetypes import Scale
+from .rng import spawn_rngs
+from .volume_model import VolumeSpec, generate_volume
+
+__all__ = ["FleetSpec", "build_fleet"]
+
+Archetype = Callable[[str, np.random.Generator, Scale], VolumeSpec]
+
+
+@dataclass
+class FleetSpec:
+    """A fleet: archetype mixture + time scale + lifecycle knobs.
+
+    Attributes:
+        name: dataset name.
+        archetypes: ``(factory, weight)`` mixture; weights are normalized.
+        n_volumes: number of volumes to generate.
+        scale: time scaling (number of days, seconds per day).
+        short_lived_fraction: fraction of volumes restricted to a single
+            random day (the paper's short-lived tasks, Figure 3).
+        volume_prefix: volume ids are ``<prefix><index>``.
+    """
+
+    name: str
+    archetypes: Sequence[Tuple[Archetype, float]]
+    n_volumes: int
+    scale: Scale
+    short_lived_fraction: float = 0.0
+    volume_prefix: str = "vol"
+
+    def __post_init__(self) -> None:
+        if self.n_volumes <= 0:
+            raise ValueError("n_volumes must be positive")
+        if not self.archetypes:
+            raise ValueError("at least one archetype is required")
+        if not 0 <= self.short_lived_fraction <= 1:
+            raise ValueError("short_lived_fraction must be in [0, 1]")
+
+
+def build_fleet(
+    spec: FleetSpec,
+    seed: int = 0,
+    extra_specs: Optional[Sequence[Archetype]] = None,
+) -> TraceDataset:
+    """Generate the fleet deterministically from one seed.
+
+    Archetypes are assigned round-robin proportionally to their weights
+    (deterministic composition), per-volume randomness comes from spawned
+    child RNGs, and ``extra_specs`` appends special one-off volumes (e.g.
+    the MSRC source-control volume).
+    """
+    extra = list(extra_specs or [])
+    total = spec.n_volumes
+    n_regular = total - len(extra)
+    if n_regular < 0:
+        raise ValueError("more extra volumes than n_volumes")
+    weights = np.array([w for _, w in spec.archetypes], dtype=np.float64)
+    weights /= weights.sum()
+    # Largest-remainder apportionment of volumes to archetypes.
+    ideal = weights * n_regular
+    counts = np.floor(ideal).astype(int)
+    remainder = n_regular - counts.sum()
+    if remainder > 0:
+        order = np.argsort(-(ideal - counts))
+        counts[order[:remainder]] += 1
+
+    factories: List[Archetype] = []
+    for (factory, _), count in zip(spec.archetypes, counts):
+        factories.extend([factory] * count)
+    factories.extend(extra)
+
+    rngs = spawn_rngs(seed, total + 1)
+    assign_rng = rngs[-1]
+    # Shuffle archetype order so volume ids don't encode the archetype.
+    order = assign_rng.permutation(total)
+    t0, t1 = 0.0, spec.scale.duration
+    n_short = int(round(spec.short_lived_fraction * total))
+    short_ids = set(assign_rng.choice(total, size=n_short, replace=False).tolist())
+
+    dataset = TraceDataset(spec.name)
+    for idx in range(total):
+        factory = factories[order[idx]]
+        rng = rngs[idx]
+        volume_id = f"{spec.volume_prefix}{idx}"
+        vspec = factory(volume_id, rng, spec.scale)
+        if idx in short_ids:
+            day = int(rng.integers(0, spec.scale.n_days))
+            vspec.active_window = (
+                day * spec.scale.day_seconds,
+                (day + 1) * spec.scale.day_seconds,
+            )
+        dataset.add(generate_volume(vspec, rng, t0, t1))
+    return dataset

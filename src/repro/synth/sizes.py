@@ -1,0 +1,113 @@
+"""Request-size models.
+
+Both traces are dominated by small requests (paper Figure 2: 75% of
+AliCloud reads <= 32 KiB, writes <= 16 KiB).  Sizes are drawn from a
+categorical mixture over power-of-two sizes (the shape real block layers
+produce) or a sector-aligned lognormal.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..trace.record import SECTOR_SIZE
+
+__all__ = ["SizeModel", "ChoiceSizes", "LognormalSizes", "FixedSize", "small_request_mix"]
+
+
+class SizeModel(abc.ABC):
+    """Generates request sizes in bytes."""
+
+    @abc.abstractmethod
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` int64 sizes, each a positive multiple of the sector size."""
+
+
+class FixedSize(SizeModel):
+    """Every request has the same size."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % SECTOR_SIZE:
+            raise ValueError(f"size must be a positive multiple of {SECTOR_SIZE}")
+        self.size = size
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.size, dtype=np.int64)
+
+
+class ChoiceSizes(SizeModel):
+    """Categorical mixture over explicit sizes (e.g. 4/8/16/64 KiB)."""
+
+    def __init__(self, sizes: Sequence[int], weights: Sequence[float]) -> None:
+        sizes = [int(s) for s in sizes]
+        if len(sizes) != len(weights) or not sizes:
+            raise ValueError("sizes and weights must be equal-length and non-empty")
+        for s in sizes:
+            if s <= 0 or s % SECTOR_SIZE:
+                raise ValueError(f"sizes must be positive multiples of {SECTOR_SIZE}")
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative with a positive sum")
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        self.weights = w / w.sum()
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        idx = rng.choice(len(self.sizes), size=n, p=self.weights)
+        return self.sizes[idx]
+
+    def mean(self) -> float:
+        return float((self.sizes * self.weights).sum())
+
+
+class LognormalSizes(SizeModel):
+    """Sector-aligned lognormal sizes, clipped to [min_size, max_size]."""
+
+    def __init__(
+        self,
+        median: float,
+        sigma: float = 1.0,
+        min_size: int = SECTOR_SIZE,
+        max_size: int = 4 * 1024 * 1024,
+    ) -> None:
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if min_size <= 0 or min_size % SECTOR_SIZE:
+            raise ValueError(f"min_size must be a positive multiple of {SECTOR_SIZE}")
+        if max_size < min_size:
+            raise ValueError("max_size must be >= min_size")
+        self.median = median
+        self.sigma = sigma
+        self.min_size = min_size
+        self.max_size = max_size
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        raw = rng.lognormal(mean=np.log(self.median), sigma=self.sigma, size=n)
+        aligned = (np.round(raw / SECTOR_SIZE).astype(np.int64)) * SECTOR_SIZE
+        return np.clip(aligned, self.min_size, self.max_size)
+
+
+def small_request_mix(kind: str) -> ChoiceSizes:
+    """Canonical small-request mixtures matching the paper's Figure 2.
+
+    ``kind``: ``"cloud_read"`` (75th pct ~32 KiB), ``"cloud_write"``
+    (75th pct ~16 KiB), ``"enterprise_read"`` (75th pct ~64 KiB), or
+    ``"enterprise_write"`` (75th pct ~20 KiB).
+    """
+    kib = 1024
+    mixes = {
+        "cloud_read": ([4 * kib, 8 * kib, 16 * kib, 32 * kib, 64 * kib, 128 * kib],
+                       [0.30, 0.20, 0.15, 0.15, 0.12, 0.08]),
+        "cloud_write": ([4 * kib, 8 * kib, 16 * kib, 32 * kib, 64 * kib],
+                        [0.45, 0.20, 0.15, 0.12, 0.08]),
+        "enterprise_read": ([4 * kib, 8 * kib, 16 * kib, 32 * kib, 64 * kib, 256 * kib],
+                            [0.25, 0.15, 0.15, 0.15, 0.20, 0.10]),
+        "enterprise_write": ([4 * kib, 8 * kib, 16 * kib, 32 * kib, 64 * kib],
+                             [0.40, 0.25, 0.15, 0.12, 0.08]),
+    }
+    if kind not in mixes:
+        raise ValueError(f"unknown size mix: {kind!r} (expected one of {sorted(mixes)})")
+    sizes, weights = mixes[kind]
+    return ChoiceSizes(sizes, weights)

@@ -1,0 +1,113 @@
+"""Per-volume workload specification and generation.
+
+A :class:`VolumeSpec` fully describes one synthetic volume: capacity,
+active window, arrival process, read/write mix, and per-op size and
+address models.  ``generate`` materializes it into a
+:class:`~repro.trace.dataset.VolumeTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..trace.dataset import VolumeTrace
+from .address import AddressModel
+from .arrival import ArrivalProcess
+from .sizes import SizeModel
+
+__all__ = ["VolumeSpec", "generate_volume"]
+
+#: Safety cap on requests per volume; generation raises beyond this rather
+#: than silently truncating (a miscalibrated rate should be loud).
+MAX_REQUESTS_PER_VOLUME = 5_000_000
+
+
+@dataclass
+class VolumeSpec:
+    """Complete generative description of one volume's workload.
+
+    Attributes:
+        volume_id: identifier in the produced trace.
+        capacity: volume capacity in bytes.
+        arrival: arrival process for all requests of the volume.
+        write_fraction: per-request probability that the op is a write.
+        read_sizes / write_sizes: per-op request-size models.
+        read_addresses / write_addresses: per-op offset models.
+        active_window: optional (start, end) seconds restricting activity
+            to a sub-range of the trace window (short-lived volumes).
+    """
+
+    volume_id: str
+    capacity: int
+    arrival: ArrivalProcess
+    write_fraction: float
+    read_sizes: SizeModel
+    write_sizes: SizeModel
+    read_addresses: AddressModel
+    write_addresses: AddressModel
+    active_window: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= self.write_fraction <= 1:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.active_window is not None:
+            lo, hi = self.active_window
+            if hi <= lo:
+                raise ValueError("active_window end must exceed start")
+
+
+def generate_volume(
+    spec: VolumeSpec, rng: np.random.Generator, t0: float, t1: float
+) -> VolumeTrace:
+    """Materialize one volume's trace over the window ``[t0, t1)``.
+
+    The effective window is intersected with the spec's active window.
+    Reads and writes are generated as two in-order sub-streams (each op's
+    address model sees its own requests in arrival order) and merged.
+    """
+    lo, hi = t0, t1
+    if spec.active_window is not None:
+        lo = max(lo, spec.active_window[0])
+        hi = min(hi, spec.active_window[1])
+    if hi <= lo:
+        return VolumeTrace.empty(spec.volume_id, spec.capacity)
+    timestamps = spec.arrival.generate(rng, lo, hi)
+    n = len(timestamps)
+    if n == 0:
+        return VolumeTrace.empty(spec.volume_id, spec.capacity)
+    if n > MAX_REQUESTS_PER_VOLUME:
+        raise ValueError(
+            f"volume {spec.volume_id!r} would generate {n} requests "
+            f"(cap {MAX_REQUESTS_PER_VOLUME}); lower the arrival rate or window"
+        )
+    is_write = rng.random(n) < spec.write_fraction
+    sizes = np.empty(n, dtype=np.int64)
+    offsets = np.empty(n, dtype=np.int64)
+    n_writes = int(is_write.sum())
+    n_reads = n - n_writes
+    if n_writes:
+        w_sizes = spec.write_sizes.generate(rng, n_writes)
+        sizes[is_write] = w_sizes
+        offsets[is_write] = spec.write_addresses.generate(rng, w_sizes)
+    if n_reads:
+        r_sizes = spec.read_sizes.generate(rng, n_reads)
+        sizes[~is_write] = r_sizes
+        offsets[~is_write] = spec.read_addresses.generate(rng, r_sizes)
+    # Clamp any request that would spill past the volume's end.
+    overflow = offsets + sizes > spec.capacity
+    if overflow.any():
+        offsets[overflow] = np.maximum(spec.capacity - sizes[overflow], 0)
+    return VolumeTrace(
+        spec.volume_id,
+        timestamps,
+        offsets,
+        sizes,
+        is_write,
+        capacity=spec.capacity,
+        presorted=True,
+    )

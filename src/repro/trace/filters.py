@@ -1,0 +1,104 @@
+"""Dataset and volume filtering/transformation utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .dataset import TraceDataset, VolumeTrace
+
+__all__ = [
+    "filter_volumes",
+    "filter_time_range",
+    "reads_only",
+    "writes_only",
+    "split_days",
+    "rebase_timestamps",
+    "top_traffic_volume_ids",
+]
+
+
+def filter_volumes(
+    dataset: TraceDataset, predicate: Callable[[VolumeTrace], bool], name: Optional[str] = None
+) -> TraceDataset:
+    """New dataset keeping only volumes for which ``predicate`` is True."""
+    kept = {v.volume_id: v for v in dataset.volumes() if predicate(v)}
+    return TraceDataset(name or dataset.name, kept)
+
+
+def filter_time_range(
+    dataset: TraceDataset, t0: float, t1: float, name: Optional[str] = None
+) -> TraceDataset:
+    """Restrict every volume to requests with ``t0 <= timestamp < t1``.
+
+    Volumes left empty by the cut are kept (they still count as volumes,
+    matching how the paper counts inactive volumes).
+    """
+    out = TraceDataset(name or dataset.name)
+    for trace in dataset.volumes():
+        out.add(trace.time_slice(t0, t1))
+    return out
+
+
+def reads_only(dataset: TraceDataset, name: Optional[str] = None) -> TraceDataset:
+    """Dataset with write requests removed (the paper's Finding 7 cut)."""
+    out = TraceDataset(name or f"{dataset.name}-reads")
+    for trace in dataset.volumes():
+        out.add(trace.reads())
+    return out
+
+
+def writes_only(dataset: TraceDataset, name: Optional[str] = None) -> TraceDataset:
+    """Dataset with read requests removed."""
+    out = TraceDataset(name or f"{dataset.name}-writes")
+    for trace in dataset.volumes():
+        out.add(trace.writes())
+    return out
+
+
+def rebase_timestamps(dataset: TraceDataset, origin: Optional[float] = None) -> TraceDataset:
+    """Shift all timestamps so the dataset starts at zero (or ``origin``)."""
+    base = dataset.start_time if origin is None else origin
+    out = TraceDataset(dataset.name)
+    for trace in dataset.volumes():
+        out.add(
+            VolumeTrace(
+                trace.volume_id,
+                trace.timestamps - base,
+                trace.offsets,
+                trace.sizes,
+                trace.is_write,
+                trace.response_times,
+                trace.capacity,
+                presorted=True,
+            )
+        )
+    return out
+
+
+def split_days(
+    dataset: TraceDataset, day_seconds: float = 86400.0, origin: Optional[float] = None
+) -> List[Tuple[int, TraceDataset]]:
+    """Split a dataset into per-day datasets.
+
+    Returns ``(day_index, dataset)`` pairs covering the full span; days are
+    counted from ``origin`` (default: dataset start time).
+    """
+    base = dataset.start_time if origin is None else origin
+    end = dataset.end_time
+    n_days = max(1, int(np.ceil((end - base) / day_seconds)))
+    if end > base and (end - base) % day_seconds == 0:
+        n_days = int((end - base) / day_seconds) + 1
+    out = []
+    for day in range(n_days):
+        t0 = base + day * day_seconds
+        t1 = t0 + day_seconds
+        out.append((day, filter_time_range(dataset, t0, t1, f"{dataset.name}-day{day}")))
+    return out
+
+
+def top_traffic_volume_ids(dataset: TraceDataset, k: int = 10) -> List[str]:
+    """Ids of the ``k`` volumes with the most total I/O traffic (descending)."""
+    ranked = sorted(dataset.volumes(), key=lambda v: v.total_bytes, reverse=True)
+    return [v.volume_id for v in ranked[:k]]

@@ -1,0 +1,102 @@
+"""Trace sanity checks.
+
+Production trace files occasionally carry malformed rows (out-of-range
+offsets, zero-length requests, clock steps backwards).  These checks let a
+pipeline validate its input before analysis and surface everything wrong at
+once instead of failing on the first bad metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .dataset import TraceDataset, VolumeTrace
+from .record import SECTOR_SIZE
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_volume", "validate_dataset"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a trace."""
+
+    volume_id: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.volume_id}] {self.code}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All problems found in a dataset; empty means the trace is clean."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            detail = "\n".join(str(i) for i in self.issues[:20])
+            more = len(self.issues) - 20
+            if more > 0:
+                detail += f"\n... and {more} more"
+            raise ValueError(f"trace validation failed:\n{detail}")
+
+    def extend(self, other: "ValidationReport") -> None:
+        self.issues.extend(other.issues)
+
+
+def validate_volume(trace: VolumeTrace, check_alignment: bool = False) -> ValidationReport:
+    """Validate one volume trace.
+
+    Checks: non-decreasing timestamps, non-negative offsets, positive sizes,
+    requests within capacity (when capacity is known), and optionally sector
+    alignment of offsets and sizes.
+    """
+    report = ValidationReport()
+    vid = trace.volume_id
+
+    def issue(code: str, message: str) -> None:
+        report.issues.append(ValidationIssue(vid, code, message))
+
+    n = len(trace)
+    if n == 0:
+        return report
+    if np.any(np.diff(trace.timestamps) < 0):
+        bad = int(np.argmax(np.diff(trace.timestamps) < 0))
+        issue("unsorted-timestamps", f"timestamp decreases at row {bad + 1}")
+    if np.any(trace.offsets < 0):
+        issue("negative-offset", f"{int(np.count_nonzero(trace.offsets < 0))} rows")
+    if np.any(trace.sizes <= 0):
+        issue("non-positive-size", f"{int(np.count_nonzero(trace.sizes <= 0))} rows")
+    if trace.capacity is not None:
+        over = trace.offsets + trace.sizes > trace.capacity
+        if np.any(over):
+            issue(
+                "beyond-capacity",
+                f"{int(np.count_nonzero(over))} rows extend past capacity "
+                f"{trace.capacity}",
+            )
+    if check_alignment:
+        misaligned_off = int(np.count_nonzero(trace.offsets % SECTOR_SIZE))
+        misaligned_size = int(np.count_nonzero(trace.sizes % SECTOR_SIZE))
+        if misaligned_off:
+            issue("unaligned-offset", f"{misaligned_off} rows not {SECTOR_SIZE}-byte aligned")
+        if misaligned_size:
+            issue("unaligned-size", f"{misaligned_size} rows not {SECTOR_SIZE}-byte aligned")
+    return report
+
+
+def validate_dataset(dataset: TraceDataset, check_alignment: bool = False) -> ValidationReport:
+    """Validate every volume in a dataset and concatenate the findings."""
+    report = ValidationReport()
+    for trace in dataset.volumes():
+        report.extend(validate_volume(trace, check_alignment=check_alignment))
+    return report

@@ -1,0 +1,61 @@
+"""Shared fixtures: small deterministic traces and fleets."""
+
+import numpy as np
+import pytest
+
+from repro.synth import Scale, make_alicloud_fleet, make_msrc_fleet
+from repro.trace import TraceDataset, VolumeTrace
+
+#: Small time scale for fast tests: 4 "days" of 60 seconds.
+TEST_SCALE = Scale(n_days=4, day_seconds=60.0)
+
+
+def make_trace(volume_id="v0", timestamps=None, offsets=None, sizes=None, is_write=None, **kw):
+    """Hand-rolled trace builder with convenient defaults."""
+    timestamps = [0.0, 1.0, 2.0, 3.0] if timestamps is None else timestamps
+    n = len(timestamps)
+    offsets = [i * 4096 for i in range(n)] if offsets is None else offsets
+    sizes = [4096] * n if sizes is None else sizes
+    is_write = [False] * n if is_write is None else is_write
+    return VolumeTrace.from_arrays(volume_id, timestamps, offsets, sizes, is_write, **kw)
+
+
+@pytest.fixture(scope="session")
+def tiny_ali():
+    """Small AliCloud-side fleet shared across the test session."""
+    return make_alicloud_fleet(n_volumes=12, seed=3, scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def tiny_msrc():
+    """Small MSRC-side fleet shared across the test session.
+
+    Seed chosen so the 8-volume sample keeps the full fleet's overall
+    read dominance (tiny samples of a 36-volume population are noisy).
+    """
+    return make_msrc_fleet(n_volumes=8, seed=7, scale=TEST_SCALE)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def simple_dataset():
+    """Two-volume dataset with fully hand-computable metrics."""
+    v0 = make_trace(
+        "v0",
+        timestamps=[0.0, 10.0, 20.0, 30.0],
+        offsets=[0, 4096, 0, 8192],
+        sizes=[4096, 4096, 4096, 4096],
+        is_write=[True, False, True, True],
+    )
+    v1 = make_trace(
+        "v1",
+        timestamps=[5.0, 6.0],
+        offsets=[0, 0],
+        sizes=[8192, 4096],
+        is_write=[False, False],
+    )
+    return TraceDataset("simple", {"v0": v0, "v1": v1})

@@ -1,0 +1,171 @@
+"""Tests for cache simulation, reuse distances, MRC, and SHARDS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    INFINITE_DISTANCE,
+    LRUCache,
+    mrc_from_distances,
+    mrc_from_stream,
+    reuse_distances,
+    shards_mrc,
+    shards_sample_mask,
+    simulate_stream,
+    simulate_trace,
+)
+
+from conftest import make_trace
+
+
+class TestReuseDistances:
+    def test_first_touches_are_infinite(self):
+        d = reuse_distances(np.array([1, 2, 3]))
+        assert list(d) == [INFINITE_DISTANCE] * 3
+
+    def test_immediate_reuse_is_zero(self):
+        d = reuse_distances(np.array([1, 1]))
+        assert d[1] == 0
+
+    def test_classic_example(self):
+        # a b c a : distance of final a is 2 (b and c in between)
+        d = reuse_distances(np.array([1, 2, 3, 1]))
+        assert d[3] == 2
+
+    def test_repeated_interleaving(self):
+        d = reuse_distances(np.array([1, 2, 1, 2, 1]))
+        assert list(d[2:]) == [1, 1, 1]
+
+    def test_duplicates_between_count_once(self):
+        # a b b a : only one distinct block between the two a's.
+        d = reuse_distances(np.array([1, 2, 2, 1]))
+        assert d[3] == 1
+
+    def test_empty(self):
+        assert len(reuse_distances(np.array([]))) == 0
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_naive(self, stream):
+        """Fenwick-tree result equals the obvious O(n^2) computation."""
+        arr = np.asarray(stream)
+        fast = reuse_distances(arr)
+        last = {}
+        for i, b in enumerate(stream):
+            if b in last:
+                expected = len(set(stream[last[b] + 1 : i]))
+                assert fast[i] == expected
+            else:
+                assert fast[i] == INFINITE_DISTANCE
+            last[b] = i
+
+
+class TestSimulator:
+    def test_counts_split_by_op(self):
+        blocks = np.array([1, 1, 2, 2])
+        is_write = np.array([False, True, True, False])
+        res = simulate_stream(blocks, is_write, LRUCache(4))
+        assert res.read_misses == 1  # block 1 first touch
+        assert res.write_hits == 1  # block 1 second touch
+        assert res.write_misses == 1  # block 2 first touch
+        assert res.read_hits == 1  # block 2 second touch
+
+    def test_ratios(self):
+        blocks = np.array([1, 1, 1, 1])
+        is_write = np.array([False, False, False, False])
+        res = simulate_stream(blocks, is_write, LRUCache(2))
+        assert res.read_miss_ratio == pytest.approx(0.25)
+        assert res.hit_ratio == pytest.approx(0.75)
+        assert np.isnan(res.write_miss_ratio)
+
+    def test_simulate_trace_expands_blocks(self):
+        tr = make_trace(
+            timestamps=[0.0, 1.0],
+            offsets=[0, 0],
+            sizes=[8192, 8192],  # two blocks each
+            is_write=[True, False],
+        )
+        res = simulate_trace(tr, LRUCache, capacity_blocks=4)
+        assert res.n_writes == 2 and res.n_reads == 2
+        assert res.write_misses == 2 and res.read_hits == 2
+
+    def test_empty_trace(self):
+        from repro.trace import VolumeTrace
+
+        res = simulate_trace(VolumeTrace.empty("v"), LRUCache, 4)
+        assert res.n_accesses == 0
+        assert np.isnan(res.miss_ratio)
+
+
+class TestMRC:
+    def test_exact_against_simulation(self, rng):
+        stream = rng.integers(0, 40, size=3000)
+        mrc = mrc_from_stream(stream)
+        for capacity in (1, 4, 16, 50):
+            c = LRUCache(capacity)
+            misses = sum(not c.access(int(b), False) for b in stream)
+            assert mrc.miss_ratio(capacity) == pytest.approx(misses / len(stream))
+
+    def test_monotone_nonincreasing(self, rng):
+        stream = rng.integers(0, 100, size=2000)
+        mrc = mrc_from_stream(stream)
+        ratios = mrc.miss_ratios(range(1, 120))
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_compulsory_floor(self, rng):
+        stream = rng.integers(0, 30, size=1000)
+        mrc = mrc_from_stream(stream)
+        distinct = len(set(stream.tolist()))
+        assert mrc.compulsory_miss_ratio == pytest.approx(distinct / 1000)
+        assert mrc.miss_ratio(10**6) == pytest.approx(mrc.compulsory_miss_ratio)
+        assert mrc.working_set_blocks() == distinct
+
+    def test_rejects_bad_capacity(self):
+        mrc = mrc_from_stream(np.array([1, 2, 1]))
+        with pytest.raises(ValueError):
+            mrc.miss_ratio(0)
+
+    def test_empty_stream(self):
+        mrc = mrc_from_distances(np.array([], dtype=np.int64))
+        assert np.isnan(mrc.miss_ratio(1))
+
+
+class TestSHARDS:
+    def test_mask_is_by_block(self, rng):
+        blocks = rng.integers(0, 1000, size=5000)
+        mask = shards_sample_mask(blocks, rate=0.1)
+        # Every occurrence of a block gets the same decision.
+        decisions = {}
+        for b, m in zip(blocks.tolist(), mask.tolist()):
+            assert decisions.setdefault(b, m) == m
+
+    def test_rate_one_keeps_everything(self, rng):
+        blocks = rng.integers(0, 100, size=500)
+        assert shards_sample_mask(blocks, rate=1.0).all()
+
+    def test_sampling_rate_approx(self, rng):
+        blocks = np.arange(100000)
+        frac = shards_sample_mask(blocks, rate=0.05).mean()
+        assert frac == pytest.approx(0.05, rel=0.2)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            shards_sample_mask(np.array([1]), rate=0.0)
+
+    def test_estimates_close_to_exact(self, rng):
+        # Zipf-ish stream: heavily skewed popularity.
+        ranks = (rng.pareto(1.0, size=60000) * 3).astype(np.int64) % 3000
+        exact = mrc_from_stream(ranks)
+        est = shards_mrc(ranks, rate=0.1, seed=1)
+        for capacity in (30, 300, 1500):
+            assert est.miss_ratio(capacity) == pytest.approx(
+                exact.miss_ratio(capacity), abs=0.08
+            )
+
+    def test_seed_changes_sample(self, rng):
+        blocks = rng.integers(0, 10000, size=2000)
+        m1 = shards_sample_mask(blocks, 0.1, seed=1)
+        m2 = shards_sample_mask(blocks, 0.1, seed=2)
+        assert not np.array_equal(m1, m2)

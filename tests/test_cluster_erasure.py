@@ -1,0 +1,119 @@
+"""Tests for repro.cluster.erasure (parity-update schemes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ParityCost,
+    StripeLayout,
+    compare_parity_schemes,
+    full_stripe_cost,
+    parity_logging_cost,
+    rmw_cost,
+)
+
+LAYOUT = StripeLayout(4, 2)
+
+
+class TestStripeLayout:
+    def test_mapping(self):
+        assert LAYOUT.stripe_of(0) == 0
+        assert LAYOUT.stripe_of(3) == 0
+        assert LAYOUT.stripe_of(4) == 1
+        assert list(LAYOUT.stripes_of(np.array([0, 5, 9]))) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripeLayout(0, 2)
+        with pytest.raises(ValueError):
+            StripeLayout(4, 0)
+
+
+class TestRMW:
+    def test_exact_cost(self):
+        cost = rmw_cost([0, 1, 2], LAYOUT)
+        assert cost.data_writes == 3
+        assert cost.parity_writes == 3 * 2
+        assert cost.extra_reads == 3 * 3  # 1 data + 2 parity per update
+        assert cost.parity_overhead == pytest.approx((6 + 9) / 3)
+
+    def test_empty_stream(self):
+        cost = rmw_cost([], LAYOUT)
+        assert cost.total_ios == 0
+        assert np.isnan(cost.parity_overhead)
+
+
+class TestFullStripe:
+    def test_sequential_full_stripes_avoid_reads(self):
+        # Two complete stripes written in order within one buffer.
+        cost = full_stripe_cost(range(8), LAYOUT, buffer_writes=8)
+        assert cost.extra_reads == 0
+        assert cost.data_writes == 8
+        assert cost.parity_writes == 2 * 2  # one parity set per stripe
+
+    def test_partial_stripe_falls_back_to_rmw(self):
+        cost = full_stripe_cost([0, 1], LAYOUT, buffer_writes=8)
+        assert cost.extra_reads == 2 * 3
+        assert cost.parity_writes == 2 * 2
+
+    def test_buffer_boundary_splits_stripes(self):
+        # The same 4 blocks split across two flushes: no full stripe seen.
+        cost = full_stripe_cost([0, 1, 2, 3], LAYOUT, buffer_writes=2)
+        assert cost.extra_reads > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            full_stripe_cost([0], LAYOUT, buffer_writes=0)
+
+
+class TestParityLogging:
+    def test_delta_per_update_plus_final_merge(self):
+        cost = parity_logging_cost([0, 0, 0], LAYOUT, log_capacity=10)
+        # 3 deltas + final merge of the one dirty stripe (2 parities).
+        assert cost.parity_writes == 3 + 2
+        assert cost.extra_reads == 4  # merge reads k blocks
+
+    def test_merge_on_capacity(self):
+        cost = parity_logging_cost([0] * 10, LAYOUT, log_capacity=5)
+        # Two capacity merges, no residue.
+        assert cost.extra_reads == 2 * 4
+        assert cost.parity_writes == 10 + 2 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parity_logging_cost([0], LAYOUT, log_capacity=0)
+
+
+class TestSchemeComparisons:
+    def test_logging_beats_rmw_on_skewed_updates(self, rng):
+        """Hot-stripe overwrites (high update coverage) amortize merges
+        over many deltas — the CodFS motivation."""
+        blocks = rng.integers(0, 8, size=5000)  # two hot stripes
+        costs = {c.scheme: c for c in compare_parity_schemes(blocks, LAYOUT, log_capacity=32)}
+        assert costs["parity-logging"].total_ios < costs["rmw"].total_ios
+
+    def test_full_stripe_wins_on_sequential_writes(self):
+        blocks = list(range(4000))  # covering sequential pass
+        costs = {c.scheme: c for c in compare_parity_schemes(blocks, LAYOUT)}
+        assert costs["full-stripe"].total_ios < costs["rmw"].total_ios
+        assert costs["full-stripe"].total_ios < costs["parity-logging"].total_ios
+
+    def test_rmw_competitive_on_sparse_random_updates(self, rng):
+        """Write-once scattered updates leave logging's merges unamortized."""
+        blocks = rng.choice(10**6, size=2000, replace=False)
+        costs = {c.scheme: c for c in compare_parity_schemes(blocks, LAYOUT, log_capacity=16)}
+        # One update per stripe: logging pays delta + full merge per stripe.
+        assert costs["parity-logging"].total_ios >= costs["rmw"].total_ios
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_property_accounting(self, blocks):
+        for cost in compare_parity_schemes(blocks, LAYOUT):
+            assert cost.n_updates == len(blocks)
+            assert cost.data_writes >= 0
+            # Every scheme writes at least the data (full-stripe may write
+            # extra clean blocks of a full stripe, never fewer).
+            assert cost.data_writes >= len(set(blocks)) - 1 or cost.data_writes >= 1
+            assert cost.total_ios >= cost.data_writes

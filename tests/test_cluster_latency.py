@@ -1,0 +1,125 @@
+"""Tests for repro.cluster.latency (service model + FIFO queue)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DeviceServiceModel,
+    LeastLoadedPlacement,
+    place_dataset,
+    queue_response_times,
+    simulate_device_latencies,
+)
+from repro.trace import TraceDataset
+
+from conftest import make_trace
+
+
+class TestDeviceServiceModel:
+    def test_base_plus_transfer(self):
+        m = DeviceServiceModel(base_latency=1e-4, bandwidth=1e8, random_penalty=0.0)
+        s = m.service_times(np.array([1e6]), np.array([0]))
+        assert s[0] == pytest.approx(1e-4 + 1e6 / 1e8)
+
+    def test_random_penalty_on_jumps(self):
+        m = DeviceServiceModel(base_latency=0.0, bandwidth=1e12, random_penalty=1e-3)
+        offsets = np.array([0, 4096, 10**9])  # sequential then far jump
+        s = m.service_times(np.array([4096, 4096, 4096]), offsets)
+        assert s[0] == pytest.approx(1e-3, rel=0.01)  # first access seeks
+        assert s[1] < 1e-4  # sequential continuation
+        assert s[2] == pytest.approx(1e-3, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceServiceModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            DeviceServiceModel(base_latency=-1)
+
+
+class TestQueueResponseTimes:
+    def test_idle_server_response_equals_service(self):
+        r = queue_response_times(np.array([0.0, 10.0]), np.array([1.0, 2.0]))
+        assert list(r) == [1.0, 2.0]
+
+    def test_queueing_delay_accumulates(self):
+        # Three simultaneous arrivals, unit service: responses 1, 2, 3.
+        r = queue_response_times(np.zeros(3), np.ones(3))
+        assert list(r) == [1.0, 2.0, 3.0]
+
+    def test_partial_overlap(self):
+        r = queue_response_times(np.array([0.0, 0.5]), np.array([1.0, 1.0]))
+        assert r[1] == pytest.approx(1.5)  # waits 0.5, then serves 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            queue_response_times(np.array([1.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            queue_response_times(np.array([0.0]), np.array([1.0, 1.0]))
+
+    def test_empty(self):
+        assert len(queue_response_times(np.array([]), np.array([]))) == 0
+
+
+class TestSimulateDeviceLatencies:
+    def _dataset(self):
+        ds = TraceDataset("lat")
+        # A hot volume with closely spaced requests, and a cold one.
+        n = 200
+        ds.add(
+            make_trace(
+                "hot",
+                timestamps=np.linspace(0, 1.0, n),
+                offsets=(np.arange(n) * 4096).tolist(),
+                sizes=[64 * 1024] * n,
+                is_write=[True] * n,
+            )
+        )
+        ds.add(
+            make_trace(
+                "cold", timestamps=[0.5], offsets=[0], sizes=[4096], is_write=[False]
+            )
+        )
+        return ds
+
+    def test_report_structure(self):
+        ds = self._dataset()
+        placement = {"hot": 0, "cold": 1}
+        report = simulate_device_latencies(ds, placement, 2)
+        assert len(report.response_times[0]) == 200
+        assert len(report.response_times[1]) == 1
+        assert report.utilization[0] > report.utilization[1]
+
+    def test_overload_raises_tail_latency(self):
+        """Collocating everything on one device produces a worse worst-
+        device p99 than spreading — the paper's load-balancing claim."""
+        ds = self._dataset()
+        # Saturating model: service ~10 ms per request at 5 ms spacing.
+        model = DeviceServiceModel(base_latency=8e-3, bandwidth=1e9, random_penalty=0.0)
+        together = simulate_device_latencies(ds, {"hot": 0, "cold": 0}, 2, model)
+        spread = simulate_device_latencies(
+            ds, place_dataset(ds, LeastLoadedPlacement(2)), 2, model
+        )
+        assert together.response_times[0].max() > spread.overall_percentile(50)
+        # The cold request queued behind the hot stream suffers.
+        assert together.overall_percentile(99) >= spread.overall_percentile(99)
+
+    def test_unplaced_device_empty(self):
+        ds = self._dataset()
+        report = simulate_device_latencies(ds, {"hot": 0, "cold": 0}, 3)
+        assert len(report.response_times[2]) == 0
+        assert np.isnan(report.percentile(2, 99))
+
+    def test_bad_placement_rejected(self):
+        ds = self._dataset()
+        with pytest.raises(ValueError, match="bad device"):
+            simulate_device_latencies(ds, {"hot": 5, "cold": 0}, 2)
+
+    def test_fleet_integration(self, tiny_ali):
+        placement = place_dataset(tiny_ali, LeastLoadedPlacement(4))
+        report = simulate_device_latencies(tiny_ali, placement, 4)
+        total = sum(len(t) for t in report.response_times.values())
+        assert total == tiny_ali.n_requests
+        # Every response is at least the base service latency.
+        for times in report.response_times.values():
+            if len(times):
+                assert times.min() >= DeviceServiceModel().base_latency

@@ -1,0 +1,149 @@
+"""Tests for repro.cluster placement, balancer, and offload modules."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    HashPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+    dataset_offload_summary,
+    device_load_timeseries,
+    measure_imbalance,
+    place_dataset,
+    volume_offload_opportunity,
+)
+from repro.trace import TraceDataset
+
+from conftest import make_trace
+
+
+def unbalanced_dataset():
+    """One hot volume and several cold ones."""
+    ds = TraceDataset("u")
+    hot_ts = np.linspace(0, 100, 1000)
+    ds.add(
+        make_trace(
+            "hot", timestamps=hot_ts, offsets=[0] * 1000, sizes=[512] * 1000,
+            is_write=[True] * 1000,
+        )
+    )
+    for i in range(5):
+        ds.add(
+            make_trace(
+                f"cold{i}", timestamps=[10.0 * i + 1], offsets=[0], sizes=[512],
+                is_write=[False],
+            )
+        )
+    return ds
+
+
+class TestPlacementPolicies:
+    def test_round_robin_cycles(self):
+        ds = unbalanced_dataset()
+        placement = place_dataset(ds, RoundRobinPlacement(3))
+        devices = list(placement.values())
+        assert set(devices) == {0, 1, 2}
+        assert devices == [i % 3 for i in range(6)]
+
+    def test_hash_stable(self):
+        ds = unbalanced_dataset()
+        p1 = place_dataset(ds, HashPlacement(4))
+        p2 = place_dataset(ds, HashPlacement(4))
+        assert p1 == p2
+        assert all(0 <= d < 4 for d in p1.values())
+
+    def test_least_loaded_spreads_requests(self):
+        ds = unbalanced_dataset()
+        placement = place_dataset(ds, LeastLoadedPlacement(2))
+        hot_device = placement["hot"]
+        cold_devices = {placement[f"cold{i}"] for i in range(5)}
+        # All cold volumes land on the other device.
+        assert cold_devices == {1 - hot_device}
+
+    def test_least_loaded_by_bytes(self):
+        ds = unbalanced_dataset()
+        placement = place_dataset(ds, LeastLoadedPlacement(2, by="bytes"))
+        assert len(set(placement.values())) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(0)
+        with pytest.raises(ValueError):
+            LeastLoadedPlacement(2, by="colour")
+
+
+class TestBalancer:
+    def test_load_timeseries_shape_and_totals(self):
+        ds = unbalanced_dataset()
+        placement = place_dataset(ds, RoundRobinPlacement(3))
+        load = device_load_timeseries(ds, placement, 3, interval=10.0)
+        assert load.shape[0] == 3
+        assert load.sum() == ds.n_requests
+
+    def test_imbalance_single_device_is_uniform(self):
+        ds = unbalanced_dataset()
+        placement = {vid: 0 for vid in ds.volume_ids()}
+        report = measure_imbalance(ds, placement, 1, interval=10.0)
+        assert report.mean_peak_to_mean == pytest.approx(1.0)
+        assert report.mean_cov == pytest.approx(0.0)
+
+    def test_least_loaded_beats_collocating_hot(self):
+        ds = unbalanced_dataset()
+        good = place_dataset(ds, LeastLoadedPlacement(2))
+        # Adversarial: hot volume shares a device with all cold ones.
+        bad = {vid: 0 for vid in ds.volume_ids()}
+        bad["cold0"] = 1
+        r_good = measure_imbalance(ds, good, 2, interval=10.0)
+        r_bad = measure_imbalance(ds, bad, 2, interval=10.0)
+        assert r_good.mean_cov <= r_bad.mean_cov + 1e-9
+
+    def test_device_totals(self):
+        ds = unbalanced_dataset()
+        placement = place_dataset(ds, LeastLoadedPlacement(2))
+        report = measure_imbalance(ds, placement, 2, interval=10.0)
+        assert report.device_totals.sum() == ds.n_requests
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            measure_imbalance(TraceDataset("d"), {}, 2)
+
+
+class TestOffload:
+    def test_write_only_volume_fully_idle(self):
+        tr = make_trace(is_write=[True] * 4)
+        opp = volume_offload_opportunity(tr, 0.0, 100.0, idle_threshold=10.0)
+        assert opp.n_reads == 0
+        assert opp.idle_fraction == pytest.approx(1.0)
+        assert opp.n_idle_periods == 1
+
+    def test_reads_break_idleness(self):
+        tr = make_trace(
+            timestamps=[50.0], offsets=[0], sizes=[512], is_write=[False]
+        )
+        opp = volume_offload_opportunity(tr, 0.0, 100.0, idle_threshold=10.0)
+        assert opp.n_reads == 1
+        assert opp.n_idle_periods == 2
+        assert opp.idle_seconds == pytest.approx(100.0)
+
+    def test_short_gaps_not_counted(self):
+        ts = np.arange(0, 100, 5.0)
+        n = len(ts)
+        tr = make_trace(timestamps=ts, offsets=[0] * n, sizes=[512] * n, is_write=[False] * n)
+        opp = volume_offload_opportunity(tr, 0.0, 100.0, idle_threshold=10.0)
+        assert opp.idle_seconds == 0.0
+        assert opp.idle_fraction == 0.0
+
+    def test_validation(self):
+        tr = make_trace()
+        with pytest.raises(ValueError):
+            volume_offload_opportunity(tr, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            volume_offload_opportunity(tr, 0.0, 10.0, idle_threshold=0.0)
+
+    def test_dataset_summary(self, tiny_ali):
+        opps = dataset_offload_summary(tiny_ali, idle_threshold=5.0)
+        assert len(opps) == tiny_ali.n_volumes
+        # The write-dominant cloud fleet leaves plenty of read-idle time.
+        median_idle = np.median([o.idle_fraction for o in opps])
+        assert median_idle > 0.3

@@ -1,0 +1,107 @@
+"""Tests for repro.cluster.wear (wear-leveling FTL)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    SSDGeometry,
+    WEAR_POLICIES,
+    WearLevelingFTL,
+    compare_wear_leveling,
+)
+
+GEOMETRY = SSDGeometry(n_blocks=24, pages_per_block=16)
+
+
+class TestWearLevelingFTL:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown wear policy"):
+            WearLevelingFTL(GEOMETRY, policy="magic")
+
+    def test_mapping_correct_under_all_policies(self):
+        rng = np.random.default_rng(0)
+        for policy in WEAR_POLICIES:
+            ftl = WearLevelingFTL(GEOMETRY, policy=policy, op_ratio=0.2)
+            n = ftl.logical_capacity_blocks
+            written = {}
+            for i, w in enumerate(rng.integers(0, n, size=4000).tolist()):
+                ftl.write(w)
+                written[w] = i
+            pages = [ftl.read(b) for b in written]
+            assert None not in pages
+            assert len(set(pages)) == len(pages)
+
+    def test_dynamic_picks_least_worn_free_block(self):
+        ftl = WearLevelingFTL(GEOMETRY, policy="dynamic", op_ratio=0.2)
+        # Wear one free block artificially; the allocator must avoid it.
+        victim = ftl._free_blocks[-1]  # would be the LIFO pick
+        for _ in range(5):
+            ftl.device.erase_counts[victim] += 1
+        picked = ftl._take_free_block()
+        assert picked != victim
+
+    def test_threshold_triggers_cold_swaps(self):
+        rng = np.random.default_rng(1)
+        ftl = WearLevelingFTL(
+            GEOMETRY, policy="threshold", op_ratio=0.2, wear_delta_threshold=2
+        )
+        n = ftl.logical_capacity_blocks
+        # Hot/cold split: 90% of writes to 10% of blocks creates wear skew.
+        hot = max(1, n // 10)
+        for _ in range(6000):
+            if rng.random() < 0.9:
+                ftl.write(int(rng.integers(0, hot)))
+            else:
+                ftl.write(int(rng.integers(hot, n)))
+        assert ftl.cold_swaps > 0
+
+    def test_stats_include_cold_swap_traffic(self):
+        rng = np.random.default_rng(2)
+        ftl = WearLevelingFTL(
+            GEOMETRY, policy="threshold", op_ratio=0.2, wear_delta_threshold=2
+        )
+        n = ftl.logical_capacity_blocks
+        for w in rng.integers(0, max(2, n // 8), size=4000).tolist():
+            ftl.write(w)
+        stats = ftl.stats()
+        assert stats.host_writes == 4000
+        # Cold swaps show up as GC (relocation) writes.
+        if ftl.cold_swaps:
+            assert stats.gc_writes > 0
+
+
+class TestCompareWearLeveling:
+    def test_same_host_writes_every_policy(self):
+        rng = np.random.default_rng(3)
+        writes = rng.integers(0, 200, size=5000).tolist()
+        reports = compare_wear_leveling(writes, GEOMETRY)
+        assert set(reports) == set(WEAR_POLICIES)
+        host = {r.stats.host_writes for r in reports.values()}
+        assert len(host) == 1
+
+    def test_leveling_reduces_wear_imbalance_on_skewed_stream(self):
+        rng = np.random.default_rng(4)
+        # Zipf-skewed overwrites: the wear-leveling stress case.
+        hot = rng.integers(0, 12, size=9000)
+        cold = rng.integers(12, 200, size=1000)
+        writes = np.concatenate([hot, cold])
+        rng.shuffle(writes)
+        reports = compare_wear_leveling(writes.tolist(), GEOMETRY)
+        # Cold swaps keep the erase counts tighter than wear-oblivious
+        # allocation on a skewed stream.
+        assert (
+            reports["threshold"].wear_imbalance
+            <= reports["none"].wear_imbalance + 0.05
+        )
+        assert reports["threshold"].cold_swaps > 0
+        # All policies keep write amplification in a sane range.
+        for report in reports.values():
+            assert 1.0 <= report.stats.write_amplification < 5.0
+
+    def test_reports_expose_wear_metrics(self):
+        writes = list(range(100)) * 3
+        reports = compare_wear_leveling(writes, GEOMETRY, policies=("none",))
+        report = reports["none"]
+        assert report.max_erase >= 0
+        assert report.wear_imbalance >= 1.0
+        assert report.cold_swaps == 0

@@ -1,0 +1,125 @@
+"""Tests for repro.core.comparison and repro.core.hotspots."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compare_datasets,
+    concentration_curve,
+    fit_zipf,
+    ranked_block_traffic,
+)
+from repro.trace import TraceDataset
+
+from conftest import TEST_SCALE, make_trace
+
+BS = 4096
+
+
+class TestCompareDatasets:
+    @pytest.fixture(scope="class")
+    def comparison(self, tiny_ali, tiny_msrc):
+        return compare_datasets(tiny_ali, tiny_msrc, peak_interval=TEST_SCALE.peak_interval)
+
+    def test_summaries_carry_names(self, comparison, tiny_ali, tiny_msrc):
+        assert comparison.left.name == tiny_ali.name
+        assert comparison.right.name == tiny_msrc.name
+
+    def test_counts_match_datasets(self, comparison, tiny_ali):
+        assert comparison.left.n_requests == tiny_ali.n_requests
+        assert comparison.left.n_volumes == tiny_ali.n_volumes
+
+    def test_table_renders_all_rows(self, comparison):
+        table = comparison.to_table()
+        for label in ("W:R request ratio", "median update coverage", "median WAW time"):
+            assert label in table
+
+    def test_cloud_like_identifies_ali(self, comparison):
+        assert comparison.cloud_like() == comparison.left.name
+
+    def test_empty_dataset_rejected(self, tiny_ali):
+        with pytest.raises(ValueError, match="no requests"):
+            compare_datasets(tiny_ali, TraceDataset("empty"))
+
+    def test_metric_directions(self, comparison):
+        # The tiny fleets keep the paper's core contrasts.
+        assert comparison.left.write_read_ratio > comparison.right.write_read_ratio
+        assert comparison.left.median_update_coverage > comparison.right.median_update_coverage
+
+
+class TestRankedBlockTraffic:
+    def test_descending_and_complete(self):
+        tr = make_trace(
+            timestamps=[0, 1, 2, 3],
+            offsets=[0, 0, BS, 2 * BS],
+            sizes=[BS] * 4,
+            is_write=[False] * 4,
+        )
+        ranked = ranked_block_traffic(tr)
+        assert list(ranked) == [2 * BS, BS, BS]
+
+    def test_op_filter(self):
+        tr = make_trace(
+            timestamps=[0, 1], offsets=[0, BS], sizes=[BS] * 2, is_write=[True, False]
+        )
+        assert list(ranked_block_traffic(tr, "write")) == [BS]
+        assert list(ranked_block_traffic(tr, "read")) == [BS]
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            ranked_block_traffic(make_trace(), "both")
+
+
+class TestConcentrationCurve:
+    def test_uniform_traffic_is_diagonal(self):
+        ranked = np.full(100, 10.0)
+        xs, ys = concentration_curve(ranked)
+        assert np.allclose(xs, ys, atol=0.02)
+
+    def test_skewed_traffic_bows_up(self):
+        ranked = np.sort(1.0 / np.arange(1, 101))[::-1]
+        xs, ys = concentration_curve(ranked)
+        mid = np.searchsorted(xs, 0.1)
+        assert ys[mid] > 0.3  # top 10% of blocks hold >30% of traffic
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concentration_curve(np.array([]))
+        with pytest.raises(ValueError):
+            concentration_curve(np.array([1.0, 2.0]))  # ascending
+
+
+class TestFitZipf:
+    def test_recovers_exponent(self, rng):
+        s_true = 1.2
+        ranked = 1e6 * np.arange(1, 2001, dtype=np.float64) ** (-s_true)
+        fit = fit_zipf(ranked)
+        assert fit.s == pytest.approx(s_true, abs=0.05)
+        assert fit.r_squared > 0.99
+        assert fit.is_skewed
+
+    def test_uniform_traffic_not_skewed(self):
+        fit = fit_zipf(np.full(1000, 5.0))
+        assert fit.s == pytest.approx(0.0, abs=0.01)
+        assert not fit.is_skewed
+
+    def test_sampled_zipf_detected(self, rng):
+        """End to end: a ZipfHotspot volume's traffic fits as skewed."""
+        from repro.synth import ZipfHotspot
+
+        model = ZipfHotspot(n_blocks=500, region_size=5000 * BS, s=1.1, seed=3)
+        sizes = np.full(30000, BS)
+        offsets = model.generate(rng, sizes)
+        tr = make_trace(
+            timestamps=np.arange(30000, dtype=float),
+            offsets=offsets.tolist(),
+            sizes=sizes.tolist(),
+            is_write=[False] * 30000,
+        )
+        fit = fit_zipf(ranked_block_traffic(tr, "read"))
+        assert fit.is_skewed
+        assert fit.s == pytest.approx(1.1, abs=0.45)
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            fit_zipf(np.array([5.0, 3.0]))

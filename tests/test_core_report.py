@@ -1,0 +1,68 @@
+"""Tests for the ASCII plotting additions in repro.core.report."""
+
+import numpy as np
+import pytest
+
+from repro.core import ascii_cdf, ascii_curve
+from repro.stats import EmpiricalCDF
+
+
+class TestAsciiCurve:
+    def test_basic_shape(self):
+        out = ascii_curve([0, 1, 2, 3], [0, 1, 2, 3], width=20, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 3  # rows + two frame lines + x-axis line
+        assert lines[0].endswith("+" + "-" * 20 + "+")
+        assert any("*" in line for line in lines)
+
+    def test_label_first_line(self):
+        out = ascii_curve([0, 1], [0, 1], label="my curve")
+        assert out.splitlines()[0] == "my curve"
+
+    def test_monotone_curve_ascends(self):
+        out = ascii_curve(np.arange(50), np.arange(50), width=25, height=8)
+        rows = [line for line in out.splitlines() if line.strip().startswith("|")]
+        first_positions = [line.index("*") for line in rows if "*" in line]
+        # Higher rows (earlier lines) have stars further right.
+        assert first_positions == sorted(first_positions, reverse=True)
+
+    def test_constant_y(self):
+        out = ascii_curve([0, 1, 2], [5, 5, 5], width=10, height=3)
+        assert "*" in out
+
+    def test_logx(self):
+        out = ascii_curve([1, 10, 100, 1000], [0, 1, 2, 3], logx=True, width=30, height=4)
+        # Log-spaced x means the star columns are ~evenly spread.
+        rows = [line for line in out.splitlines() if "*" in line and "|" in line]
+        assert len(rows) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_curve([], [])
+        with pytest.raises(ValueError):
+            ascii_curve([1], [1, 2])
+        with pytest.raises(ValueError):
+            ascii_curve([1, 2], [1, 2], width=4)
+        with pytest.raises(ValueError):
+            ascii_curve([0, 1], [0, 1], logx=True)
+
+    def test_axis_extents_printed(self):
+        out = ascii_curve([2.0, 8.0], [1.0, 3.0], width=20, height=4)
+        assert "2.00" in out and "8.00" in out
+        assert "1.00" in out and "3.00" in out
+
+
+class TestAsciiCdf:
+    def test_renders(self):
+        out = ascii_cdf(EmpiricalCDF(range(1, 101)), width=30, height=6, label="cdf")
+        assert out.startswith("cdf")
+        assert "1.00" in out  # top of the CDF
+
+    def test_logx_filters_nonpositive(self):
+        cdf = EmpiricalCDF([0.0, 1.0, 10.0, 100.0])
+        out = ascii_cdf(cdf, logx=True, width=20, height=4)
+        assert "*" in out
+
+    def test_logx_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            ascii_cdf(EmpiricalCDF([0.0, 0.0]), logx=True)

@@ -1,0 +1,122 @@
+"""Tests for repro.core.streaming_profile."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    StreamingVolumeProfiler,
+    interarrival_times,
+    stream_profile_requests,
+    working_sets,
+)
+from repro.trace import IORequest, OpType
+
+from conftest import make_trace
+
+BS = 4096
+
+
+def requests_of(trace):
+    return list(trace.iter_requests())
+
+
+class TestStreamingVolumeProfiler:
+    def test_exact_counters(self):
+        tr = make_trace(
+            sizes=[BS, 2 * BS, BS, BS], is_write=[True, False, True, False]
+        )
+        p = StreamingVolumeProfiler("v0")
+        p.add_many(requests_of(tr))
+        profile = p.profile()
+        assert profile.n_requests == 4
+        assert profile.n_writes == 2
+        assert profile.write_bytes == 2 * BS
+        assert profile.read_bytes == 3 * BS
+        assert profile.start_time == 0.0 and profile.end_time == 3.0
+        assert profile.duration == 3.0
+
+    def test_rejects_foreign_volume(self):
+        p = StreamingVolumeProfiler("a")
+        with pytest.raises(ValueError, match="fed to profiler"):
+            p.add(IORequest("b", OpType.READ, 0, 512, 0.0))
+
+    def test_rejects_out_of_order(self):
+        p = StreamingVolumeProfiler("v")
+        p.add(IORequest("v", OpType.READ, 0, 512, 5.0))
+        with pytest.raises(ValueError, match="timestamp order"):
+            p.add(IORequest("v", OpType.READ, 0, 512, 4.0))
+
+    def test_empty_profile_raises(self):
+        with pytest.raises(ValueError, match="no requests"):
+            StreamingVolumeProfiler("v").profile()
+
+    def test_wss_estimates_match_exact(self, tiny_ali):
+        vol = max(tiny_ali.non_empty_volumes(), key=len)
+        p = StreamingVolumeProfiler(vol.volume_id)
+        p.add_many(requests_of(vol))
+        profile = p.profile()
+        exact = working_sets(vol)
+        assert profile.wss_total_bytes == pytest.approx(exact.total, rel=0.05)
+        assert profile.wss_write_bytes == pytest.approx(exact.write, rel=0.05)
+        if exact.read:
+            assert profile.wss_read_bytes == pytest.approx(exact.read, rel=0.08)
+
+    def test_percentile_estimates_match_exact(self, tiny_ali):
+        vol = max(tiny_ali.non_empty_volumes(), key=len)
+        p = StreamingVolumeProfiler(vol.volume_id, reservoir_size=8192, seed=1)
+        p.add_many(requests_of(vol))
+        profile = p.profile()
+        exact_median_size = float(np.median(vol.sizes))
+        # Sizes are drawn from a few discrete values; the reservoir median
+        # must land on the right one.
+        assert profile.size_percentiles[50.0] == pytest.approx(exact_median_size, rel=0.5)
+        gaps = interarrival_times(vol)
+        assert profile.interarrival_percentiles[50.0] == pytest.approx(
+            float(np.median(gaps)), rel=0.5
+        )
+
+    def test_derived_properties(self):
+        tr = make_trace(timestamps=[0.0, 10.0], offsets=[0, BS], sizes=[BS, BS], is_write=[True, True])
+        p = StreamingVolumeProfiler("v0")
+        p.add_many(requests_of(tr))
+        profile = p.profile()
+        assert profile.average_intensity == pytest.approx(0.2)
+        assert profile.write_read_ratio == float("inf")
+        assert profile.read_wss_fraction == pytest.approx(0.0, abs=0.05)
+
+
+class TestStreamProfileRequests:
+    def test_multi_volume_stream(self, simple_dataset):
+        # Interleave the two volumes in global time order.
+        merged = sorted(
+            (r for v in simple_dataset.volumes() for r in v.iter_requests()),
+            key=lambda r: r.timestamp,
+        )
+        profiles = stream_profile_requests(merged)
+        assert set(profiles) == {"v0", "v1"}
+        assert profiles["v0"].n_requests == 4
+        assert profiles["v1"].n_requests == 2
+        assert profiles["v1"].n_writes == 0
+
+    def test_matches_columnar_counters(self, tiny_ali):
+        merged = sorted(
+            (r for v in tiny_ali.non_empty_volumes() for r in v.iter_requests()),
+            key=lambda r: r.timestamp,
+        )
+        profiles = stream_profile_requests(merged)
+        total = sum(p.n_requests for p in profiles.values())
+        assert total == tiny_ali.n_requests
+        for vid, profile in profiles.items():
+            vol = tiny_ali[vid]
+            assert profile.n_writes == vol.n_writes
+            assert profile.read_bytes == vol.read_bytes
+
+    def test_from_trace_file(self, tiny_ali, tmp_path):
+        """End-to-end: file -> streaming iterator -> profiles, no
+        columnar materialization."""
+        from repro.trace import iter_alicloud_requests, write_alicloud
+
+        path = str(tmp_path / "fleet.csv")
+        write_alicloud(tiny_ali, path)
+        profiles = stream_profile_requests(iter_alicloud_requests(path))
+        assert sum(p.n_requests for p in profiles.values()) == tiny_ali.n_requests

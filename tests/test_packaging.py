@@ -1,0 +1,56 @@
+"""Packaging and public-API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.trace",
+            "repro.stats",
+            "repro.synth",
+            "repro.core",
+            "repro.cache",
+            "repro.cluster",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__")
+        for name in mod.__all__:
+            assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+    def test_no_accidental_private_exports(self):
+        for module in ("repro.trace", "repro.core", "repro.cache", "repro.cluster"):
+            mod = importlib.import_module(module)
+            assert not any(name.startswith("_") for name in mod.__all__)
+
+    def test_cli_parser_covers_all_handlers(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        assert set(sub.choices) == {
+            "generate",
+            "analyze",
+            "report",
+            "findings",
+            "experiments",
+            "stream-analyze",
+            "validate",
+        }

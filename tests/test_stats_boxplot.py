@@ -1,0 +1,93 @@
+"""Tests for repro.stats.boxplot and repro.stats.quantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import BoxplotStats, PAPER_PERCENTILES, percentile_groups, percentile_table
+
+
+class TestBoxplotStats:
+    def test_quartiles(self):
+        bp = BoxplotStats.from_samples(range(1, 101))
+        assert bp.q1 == pytest.approx(25.75)
+        assert bp.median == pytest.approx(50.5)
+        assert bp.q3 == pytest.approx(75.25)
+        assert bp.n == 100
+
+    def test_no_outliers_in_uniform_data(self):
+        bp = BoxplotStats.from_samples(range(100))
+        assert bp.n_outliers == 0
+        assert bp.whisker_low == 0
+        assert bp.whisker_high == 99
+
+    def test_detects_outliers(self):
+        data = list(range(100)) + [1000.0]
+        bp = BoxplotStats.from_samples(data)
+        assert 1000.0 in bp.outliers
+        assert bp.whisker_high <= 99
+
+    def test_outliers_sorted(self):
+        data = list(range(100)) + [500.0, -400.0, 1000.0]
+        bp = BoxplotStats.from_samples(data)
+        assert list(bp.outliers) == sorted(bp.outliers)
+
+    def test_constant_sample(self):
+        bp = BoxplotStats.from_samples([5.0] * 10)
+        assert bp.q1 == bp.median == bp.q3 == 5.0
+        assert bp.iqr == 0.0
+        assert bp.n_outliers == 0
+
+    def test_single_sample(self):
+        bp = BoxplotStats.from_samples([42.0])
+        assert bp.median == 42.0
+        assert bp.whisker_low == bp.whisker_high == 42.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BoxplotStats.from_samples([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            BoxplotStats.from_samples([1.0, float("nan")])
+
+    def test_row_order(self):
+        bp = BoxplotStats.from_samples(range(10))
+        row = bp.row()
+        assert row == sorted(row)
+
+    def test_format_mentions_n(self):
+        text = BoxplotStats.from_samples(range(10)).format()
+        assert "n=10" in text
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_property_invariants(self, samples):
+        bp = BoxplotStats.from_samples(samples)
+        assert bp.whisker_low <= bp.q1 <= bp.median <= bp.q3 <= bp.whisker_high
+        arr = np.asarray(samples)
+        # Whiskers are data points (or quartiles when everything is outlier-free).
+        assert bp.n_outliers + np.sum((arr >= bp.whisker_low) & (arr <= bp.whisker_high)) >= len(arr)
+
+
+class TestPercentiles:
+    def test_percentile_table(self):
+        table = percentile_table(range(101), (25, 50, 75))
+        assert table[25.0] == 25
+        assert table[50.0] == 50
+
+    def test_percentile_table_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile_table([])
+
+    def test_paper_percentiles_constant(self):
+        assert PAPER_PERCENTILES == (25, 50, 75, 90, 95)
+
+    def test_percentile_groups(self):
+        groups = percentile_groups([[1, 2, 3, 4], [10, 20, 30, 40]], (50,))
+        assert list(groups[50.0]) == pytest.approx([2.5, 25.0])
+
+    def test_percentile_groups_skips_empty_units(self):
+        groups = percentile_groups([[1, 2], [], [3, 4]], (50,))
+        assert len(groups[50.0]) == 2

@@ -1,0 +1,96 @@
+"""Tests for repro.stats.cdf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import EmpiricalCDF
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestEmpiricalCDF:
+    def test_basic_evaluation(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_fraction_below_strict(self):
+        cdf = EmpiricalCDF([1.0, 1.0, 2.0])
+        assert cdf.fraction_below(1.0) == 0.0
+        assert cdf.fraction_below(1.5) == pytest.approx(2 / 3)
+        assert cdf.fraction_at_least(1.0) == 1.0
+        assert cdf.fraction_above(2.0) == 0.0
+
+    def test_quantiles_on_sample_points(self):
+        cdf = EmpiricalCDF([10, 20, 30, 40])
+        assert cdf.quantile(0.25) == 10
+        assert cdf.quantile(0.5) == 20
+        assert cdf.quantile(1.0) == 40
+        assert cdf.quantile(0.0) == 10
+
+    def test_median_property(self):
+        assert EmpiricalCDF([5, 1, 3]).median == 3
+
+    def test_percentile_wrapper(self):
+        cdf = EmpiricalCDF(range(1, 101))
+        assert cdf.percentile(75) == 75
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            EmpiricalCDF([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            EmpiricalCDF([1.0, float("nan")])
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).quantile(1.5)
+
+    def test_series_shape(self):
+        xs, ys = EmpiricalCDF([3, 1, 2]).series()
+        assert list(xs) == [1, 2, 3]
+        assert list(ys) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_series_downsampling(self):
+        cdf = EmpiricalCDF(np.arange(1000))
+        xs, ys = cdf.series(max_points=50)
+        assert len(xs) <= 51
+        assert xs[0] == 0 and xs[-1] == 999
+        assert ys[-1] == 1.0
+
+    def test_evaluate_vectorized(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        out = cdf.evaluate([0, 2, 5])
+        assert list(out) == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_summary(self):
+        pairs = EmpiricalCDF(range(1, 101)).summary((50,))
+        assert pairs == [(50, 50)]
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_property_monotone_and_bounded(self, samples):
+        cdf = EmpiricalCDF(samples)
+        xs = sorted(samples)
+        values = [cdf(x) for x in xs]
+        assert all(0 <= v <= 1 for v in values)
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert cdf(xs[-1]) == 1.0
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=200),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_quantile_inverse(self, samples, q):
+        cdf = EmpiricalCDF(samples)
+        x = cdf.quantile(q)
+        # Galois connection: F(quantile(q)) >= q, and quantile is a sample.
+        assert cdf(x) >= q - 1e-12
+        assert x in np.asarray(samples, dtype=np.float64)

@@ -1,0 +1,80 @@
+"""Tests for repro.stats.hll (HyperLogLog cardinality sketch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import HyperLogLog
+
+
+class TestHyperLogLog:
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(p=19)
+
+    def test_empty_estimate_zero(self):
+        assert HyperLogLog().estimate() == pytest.approx(0.0)
+
+    def test_small_exact_via_linear_counting(self):
+        hll = HyperLogLog(p=12)
+        hll.add_many(np.arange(100))
+        assert len(hll) == pytest.approx(100, abs=3)
+
+    def test_duplicates_not_double_counted(self):
+        hll = HyperLogLog(p=12)
+        for _ in range(50):
+            hll.add_many(np.arange(200))
+        assert len(hll) == pytest.approx(200, abs=6)
+
+    @pytest.mark.parametrize("n", [1_000, 50_000, 1_000_000])
+    def test_accuracy_within_bounds(self, n):
+        hll = HyperLogLog(p=14)
+        hll.add_many(np.arange(n, dtype=np.int64))
+        # Theoretical stderr ~1.04/sqrt(2^14) ~ 0.8%; allow 4 sigma.
+        assert len(hll) == pytest.approx(n, rel=0.04)
+
+    def test_add_single(self):
+        hll = HyperLogLog(p=10)
+        hll.add(42)
+        hll.add(42)
+        hll.add(43)
+        assert len(hll) == pytest.approx(2, abs=1)
+
+    def test_merge_equals_union(self):
+        a, b = HyperLogLog(p=12), HyperLogLog(p=12)
+        a.add_many(np.arange(0, 3000))
+        b.add_many(np.arange(1500, 4500))
+        merged = a.merge(b)
+        assert len(merged) == pytest.approx(4500, rel=0.05)
+
+    def test_merge_requires_same_config(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=12).merge(HyperLogLog(p=13))
+        with pytest.raises(ValueError):
+            HyperLogLog(p=12, seed=1).merge(HyperLogLog(p=12, seed=2))
+
+    def test_seed_decorrelates(self):
+        a, b = HyperLogLog(p=8, seed=1), HyperLogLog(p=8, seed=2)
+        items = np.arange(10000)
+        a.add_many(items)
+        b.add_many(items)
+        assert not np.array_equal(a._registers, b._registers)
+
+    def test_negative_items_ok(self):
+        hll = HyperLogLog(p=12)
+        hll.add_many(np.arange(-500, 500))
+        assert len(hll) == pytest.approx(1000, rel=0.05)
+
+    @given(st.lists(st.integers(-(2**62), 2**62), min_size=0, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_property_estimate_tracks_distinct(self, items):
+        hll = HyperLogLog(p=12)
+        hll.add_many(np.asarray(items, dtype=np.int64))
+        distinct = len(set(items))
+        if distinct == 0:
+            assert hll.estimate() == pytest.approx(0.0)
+        else:
+            assert len(hll) == pytest.approx(distinct, rel=0.1, abs=4)

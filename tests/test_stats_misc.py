@@ -1,0 +1,175 @@
+"""Tests for repro.stats histogram, timeseries, and streaming modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    ReservoirSampler,
+    StreamingMinMax,
+    StreamingMoments,
+    bucket_counts,
+    bucket_edges,
+    duration_group_fractions,
+    interval_activity,
+    linear_histogram,
+    log_histogram,
+    max_interval_count,
+)
+
+
+class TestHistograms:
+    def test_linear_histogram_counts(self):
+        h = linear_histogram([0.5, 1.5, 1.6, 2.5], n_bins=3, lo=0, hi=3)
+        assert list(h.counts) == [1, 2, 1]
+        assert h.n == 4
+
+    def test_linear_histogram_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            linear_histogram([1.0], 3, 5, 5)
+
+    def test_fractions_sum_to_one(self):
+        h = linear_histogram(np.arange(100), 10, 0, 100)
+        assert h.fractions.sum() == pytest.approx(1.0)
+        assert h.cumulative_fractions()[-1] == pytest.approx(1.0)
+
+    def test_log_histogram_edges_are_log_spaced(self):
+        h = log_histogram([1, 10, 100, 1000], n_bins=3)
+        ratios = h.edges[1:] / h.edges[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_log_histogram_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            log_histogram([0.0, 1.0])
+
+    def test_log_histogram_rejects_empty(self):
+        with pytest.raises(ValueError):
+            log_histogram([])
+
+    def test_log_histogram_counts_everything(self):
+        data = np.random.default_rng(0).lognormal(0, 2, 500)
+        h = log_histogram(data, n_bins=40)
+        assert h.n == 500
+
+    def test_duration_groups_paper_boundaries(self):
+        # Paper Figure 17 groups: <5 min, 5-30, 30-240, >240 minutes.
+        boundaries = [300.0, 1800.0, 14400.0]
+        samples = [10.0, 600.0, 7200.0, 20000.0]
+        fracs = duration_group_fractions(samples, boundaries)
+        assert list(fracs) == pytest.approx([0.25, 0.25, 0.25, 0.25])
+
+    def test_duration_groups_boundary_belongs_right(self):
+        fracs = duration_group_fractions([300.0], [300.0])
+        assert list(fracs) == [0.0, 1.0]
+
+    def test_duration_groups_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            duration_group_fractions([1.0], [10.0, 5.0])
+
+
+class TestTimeseries:
+    def test_bucket_edges_cover_span(self):
+        edges = bucket_edges(0.0, 10.0, 3.0)
+        assert edges[0] == 0.0
+        assert edges[-1] >= 10.0
+
+    def test_bucket_edges_exact_multiple(self):
+        edges = bucket_edges(0.0, 9.0, 3.0)
+        assert len(edges) - 1 == 3
+        # An event at exactly t=9 clamps into the last bucket.
+        _, counts = bucket_counts(np.array([9.0]), 3.0, 0.0, 9.0)
+        assert counts[-1] == 1
+
+    def test_bucket_counts(self):
+        ts = np.array([0.1, 0.2, 1.5, 2.9])
+        edges, counts = bucket_counts(ts, 1.0, 0.0, 3.0)
+        assert list(counts[:3]) == [2, 1, 1]
+        assert counts.sum() == 4
+
+    def test_bucket_counts_event_at_end(self):
+        ts = np.array([0.0, 3.0])
+        _, counts = bucket_counts(ts, 1.0, 0.0, 3.0)
+        assert counts.sum() == 2
+
+    def test_max_interval_count(self):
+        ts = np.array([0.0, 0.1, 0.2, 5.0])
+        assert max_interval_count(ts, 1.0) == 3
+
+    def test_interval_activity(self):
+        ts = np.array([0.5, 2.5])
+        act = interval_activity(ts, 1.0, 0.0, 4.0)
+        assert list(act) == [True, False, True, False]
+
+    def test_interval_activity_empty(self):
+        act = interval_activity(np.array([]), 1.0, 0.0, 3.0)
+        assert not act.any()
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            bucket_edges(0, 1, 0)
+
+
+class TestStreaming:
+    def test_moments_match_numpy(self):
+        data = np.random.default_rng(1).normal(5, 2, 1000)
+        m = StreamingMoments()
+        m.add_many(data)
+        assert m.mean == pytest.approx(data.mean())
+        assert m.variance == pytest.approx(data.var())
+        assert m.std == pytest.approx(data.std())
+        assert m.sample_variance == pytest.approx(data.var(ddof=1))
+
+    def test_moments_merge(self):
+        data = np.random.default_rng(2).normal(0, 1, 500)
+        a, b = StreamingMoments(), StreamingMoments()
+        a.add_many(data[:200])
+        b.add_many(data[200:])
+        merged = a.merge(b)
+        assert merged.n == 500
+        assert merged.mean == pytest.approx(data.mean())
+        assert merged.variance == pytest.approx(data.var())
+
+    def test_moments_empty_raises(self):
+        with pytest.raises(ValueError):
+            StreamingMoments().mean
+
+    def test_minmax(self):
+        mm = StreamingMinMax()
+        mm.add_many([3.0, -1.0, 7.0])
+        assert mm.min == -1.0 and mm.max == 7.0
+
+    def test_minmax_empty_raises(self):
+        with pytest.raises(ValueError):
+            StreamingMinMax().min
+
+    def test_reservoir_exact_when_under_capacity(self, rng):
+        r = ReservoirSampler(100, rng)
+        r.add_many(range(50))
+        assert sorted(r.sample()) == list(map(float, range(50)))
+
+    def test_reservoir_capacity_respected(self, rng):
+        r = ReservoirSampler(10, rng)
+        r.add_many(range(1000))
+        assert len(r.sample()) == 10
+        assert r.n_seen == 1000
+
+    def test_reservoir_is_roughly_uniform(self):
+        # Quantiles of the reservoir approximate the stream's quantiles.
+        rng = np.random.default_rng(3)
+        r = ReservoirSampler(2000, rng)
+        r.add_many(range(100000))
+        assert r.percentile(50) == pytest.approx(50000, rel=0.1)
+
+    def test_reservoir_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+    @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_property_moments_welford_stable(self, data):
+        m = StreamingMoments()
+        m.add_many(data)
+        arr = np.asarray(data)
+        assert m.mean == pytest.approx(arr.mean(), rel=1e-6, abs=1e-6)
+        assert m.variance >= -1e-9

@@ -1,0 +1,179 @@
+"""Tests for volume generation, fleet assembly, and the calibrated fleets."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    ALICLOUD_ARCHETYPES,
+    FleetSpec,
+    PoissonArrivals,
+    Scale,
+    UniformRandom,
+    VolumeSpec,
+    build_fleet,
+    FixedSize,
+    generate_volume,
+    make_alicloud_fleet,
+    make_msrc_fleet,
+)
+from repro.trace import validate_dataset
+
+from conftest import TEST_SCALE
+
+
+def simple_spec(volume_id="v", write_fraction=0.5, window=None):
+    return VolumeSpec(
+        volume_id=volume_id,
+        capacity=1 << 30,
+        arrival=PoissonArrivals(10.0),
+        write_fraction=write_fraction,
+        read_sizes=FixedSize(4096),
+        write_sizes=FixedSize(8192),
+        read_addresses=UniformRandom(1 << 24),
+        write_addresses=UniformRandom(1 << 24),
+        active_window=window,
+    )
+
+
+class TestVolumeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simple_spec(write_fraction=1.5)
+        with pytest.raises(ValueError):
+            VolumeSpec(
+                volume_id="v", capacity=0, arrival=PoissonArrivals(1),
+                write_fraction=0.5, read_sizes=FixedSize(4096),
+                write_sizes=FixedSize(4096),
+                read_addresses=UniformRandom(1024),
+                write_addresses=UniformRandom(1024),
+            )
+        with pytest.raises(ValueError):
+            simple_spec(window=(5.0, 5.0))
+
+
+class TestGenerateVolume:
+    def test_basic_generation(self, rng):
+        tr = generate_volume(simple_spec(), rng, 0.0, 100.0)
+        assert tr.volume_id == "v"
+        assert len(tr) == pytest.approx(1000, rel=0.2)
+        assert (np.diff(tr.timestamps) >= 0).all()
+
+    def test_op_sizes_respected(self, rng):
+        tr = generate_volume(simple_spec(), rng, 0.0, 50.0)
+        assert (tr.sizes[tr.is_write] == 8192).all()
+        assert (tr.sizes[~tr.is_write] == 4096).all()
+
+    def test_write_fraction(self, rng):
+        tr = generate_volume(simple_spec(write_fraction=0.8), rng, 0.0, 500.0)
+        assert tr.n_writes / len(tr) == pytest.approx(0.8, abs=0.05)
+
+    def test_active_window_restricts(self, rng):
+        tr = generate_volume(simple_spec(window=(10.0, 20.0)), rng, 0.0, 100.0)
+        assert tr.start_time >= 10.0
+        assert tr.end_time < 20.0
+
+    def test_disjoint_window_empty(self, rng):
+        tr = generate_volume(simple_spec(window=(200.0, 300.0)), rng, 0.0, 100.0)
+        assert len(tr) == 0
+
+    def test_requests_within_capacity(self, rng):
+        tr = generate_volume(simple_spec(), rng, 0.0, 100.0)
+        assert (tr.offsets + tr.sizes <= tr.capacity).all()
+
+    def test_deterministic_per_rng(self):
+        a = generate_volume(simple_spec(), np.random.default_rng(9), 0.0, 50.0)
+        b = generate_volume(simple_spec(), np.random.default_rng(9), 0.0, 50.0)
+        assert np.array_equal(a.timestamps, b.timestamps)
+        assert np.array_equal(a.offsets, b.offsets)
+
+
+class TestBuildFleet:
+    def test_volume_count_and_ids(self):
+        spec = FleetSpec(
+            name="f", archetypes=ALICLOUD_ARCHETYPES, n_volumes=10, scale=TEST_SCALE
+        )
+        ds = build_fleet(spec, seed=0)
+        assert ds.n_volumes == 10
+        assert all(vid.startswith("vol") for vid in ds.volume_ids())
+
+    def test_reproducible(self):
+        spec = FleetSpec(
+            name="f", archetypes=ALICLOUD_ARCHETYPES, n_volumes=6, scale=TEST_SCALE
+        )
+        a = build_fleet(spec, seed=1)
+        b = build_fleet(spec, seed=1)
+        assert a.n_requests == b.n_requests
+        for vid in a.volume_ids():
+            assert np.array_equal(a[vid].offsets, b[vid].offsets)
+
+    def test_seed_changes_fleet(self):
+        spec = FleetSpec(
+            name="f", archetypes=ALICLOUD_ARCHETYPES, n_volumes=6, scale=TEST_SCALE
+        )
+        assert build_fleet(spec, seed=1).n_requests != build_fleet(spec, seed=2).n_requests
+
+    def test_short_lived_fraction(self):
+        spec = FleetSpec(
+            name="f",
+            archetypes=ALICLOUD_ARCHETYPES,
+            n_volumes=20,
+            scale=TEST_SCALE,
+            short_lived_fraction=0.5,
+        )
+        ds = build_fleet(spec, seed=3)
+        day = TEST_SCALE.day_seconds
+        short = sum(
+            1
+            for v in ds.non_empty_volumes()
+            if np.floor(v.start_time / day) == np.floor(v.end_time / day)
+        )
+        assert short >= 8  # ~10 requested (some short-lived may be empty)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetSpec(name="f", archetypes=[], n_volumes=5, scale=TEST_SCALE)
+        with pytest.raises(ValueError):
+            FleetSpec(
+                name="f", archetypes=ALICLOUD_ARCHETYPES, n_volumes=0, scale=TEST_SCALE
+            )
+
+
+class TestCalibratedFleets:
+    """The fleet-level marginals the paper reports (qualitative shape)."""
+
+    def test_traces_are_valid(self, tiny_ali, tiny_msrc):
+        assert validate_dataset(tiny_ali).ok
+        assert validate_dataset(tiny_msrc).ok
+
+    def test_ali_write_dominant(self, tiny_ali):
+        assert tiny_ali.n_writes > 1.5 * tiny_ali.n_reads
+
+    def test_msrc_read_dominant(self, tiny_msrc):
+        assert tiny_msrc.n_writes < tiny_msrc.n_reads
+
+    def test_ali_most_volumes_write_dominant(self, tiny_ali):
+        frac = np.mean([v.n_writes > v.n_reads for v in tiny_ali.non_empty_volumes()])
+        assert frac > 0.7
+
+    def test_small_requests_dominate(self, tiny_ali, tiny_msrc):
+        for ds in (tiny_ali, tiny_msrc):
+            sizes = np.concatenate([v.sizes for v in ds.non_empty_volumes()])
+            assert np.percentile(sizes, 75) <= 100 * 1024
+
+    def test_msrc_has_source_control_volume(self, tiny_msrc):
+        # The extra archetype volume is always appended.
+        assert tiny_msrc.n_volumes == 8
+
+    def test_default_scales(self):
+        ali = make_alicloud_fleet(n_volumes=3, seed=0, scale=Scale(2, 30.0))
+        msrc = make_msrc_fleet(n_volumes=3, seed=0, scale=Scale(2, 30.0))
+        assert ali.name == "AliCloud-synth"
+        assert msrc.name == "MSRC-synth"
+        assert ali.n_volumes == 3 and msrc.n_volumes == 3
+
+    def test_scale_helpers(self):
+        s = Scale(n_days=31, day_seconds=240.0)
+        assert s.duration == 31 * 240
+        assert s.activity_interval == pytest.approx(240 / 144)
+        assert s.peak_interval == pytest.approx(240 / 1440)
+        assert s.hours(24) == pytest.approx(240.0)

@@ -1,0 +1,310 @@
+"""Tests for the synthetic workload model primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import (
+    ChoiceSizes,
+    CircularLog,
+    DailyBatch,
+    DiurnalArrivals,
+    FixedSize,
+    JitteredRegular,
+    LognormalSizes,
+    MicroBurst,
+    MixtureAddress,
+    OnOffArrivals,
+    PoissonArrivals,
+    SequentialRuns,
+    Superpose,
+    UniformRandom,
+    ZipfHotspot,
+    ZipfSampler,
+    bounded_lognormal,
+    categorical,
+    make_rng,
+    spawn_rngs,
+    small_request_mix,
+)
+
+BS = 4096
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_spawn_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_reproducible(self):
+        x = [r.random() for r in spawn_rngs(5, 3)]
+        y = [r.random() for r in spawn_rngs(5, 3)]
+        assert x == y
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestDistributions:
+    def test_zipf_rank_zero_most_popular(self, rng):
+        z = ZipfSampler(100, s=1.2)
+        draws = z.sample(rng, 20000)
+        counts = np.bincount(draws, minlength=100)
+        assert counts[0] == counts.max()
+        assert counts[0] > counts[50]
+
+    def test_zipf_bounds(self, rng):
+        z = ZipfSampler(10, s=1.0)
+        draws = z.sample(rng, 1000)
+        assert draws.min() >= 0 and draws.max() < 10
+
+    def test_zipf_uniform_when_s_zero(self, rng):
+        z = ZipfSampler(4, s=0.0)
+        draws = z.sample(rng, 40000)
+        counts = np.bincount(draws, minlength=4) / 40000
+        assert np.allclose(counts, 0.25, atol=0.02)
+
+    def test_zipf_pmf_sums_to_one(self):
+        z = ZipfSampler(50, s=1.0)
+        assert sum(z.pmf(k) for k in range(50)) == pytest.approx(1.0)
+
+    def test_zipf_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, s=-1)
+
+    def test_bounded_lognormal_median(self, rng):
+        draws = bounded_lognormal(rng, 20000, median=5.0, sigma=1.0)
+        assert np.median(draws) == pytest.approx(5.0, rel=0.1)
+
+    def test_bounded_lognormal_clipping(self, rng):
+        draws = bounded_lognormal(rng, 1000, median=5.0, sigma=2.0, lo=1.0, hi=10.0)
+        assert draws.min() >= 1.0 and draws.max() <= 10.0
+
+    def test_categorical(self, rng):
+        draws = categorical(rng, [0.9, 0.1], 10000)
+        assert np.mean(draws == 0) == pytest.approx(0.9, abs=0.03)
+
+    def test_categorical_rejects_bad_probs(self, rng):
+        with pytest.raises(ValueError):
+            categorical(rng, [0.5, 0.2], 10)
+
+
+class TestArrivals:
+    def test_poisson_rate(self, rng):
+        times = PoissonArrivals(10.0).generate(rng, 0, 1000)
+        assert len(times) == pytest.approx(10000, rel=0.1)
+        assert (np.diff(times) >= 0).all()
+        assert times.min() >= 0 and times.max() < 1000
+
+    def test_poisson_zero_rate(self, rng):
+        assert len(PoissonArrivals(0.0).generate(rng, 0, 100)) == 0
+
+    def test_onoff_burstier_than_poisson(self, rng):
+        onoff = OnOffArrivals(base_rate=0.5, burst_rate=500, on_mean=1.0, off_mean=50.0)
+        times = onoff.generate(rng, 0, 2000)
+        counts = np.bincount((times // 1).astype(int))
+        # Some 1-second windows see the burst rate.
+        assert counts.max() > 100
+
+    def test_diurnal_modulation(self, rng):
+        day = 1000.0
+        arr = DiurnalArrivals(base_rate=20.0, amplitude=1.0, period=day)
+        times = arr.generate(rng, 0, day * 20)
+        phase = (times % day) / day
+        # More arrivals near the peak (phase 0.25) than the trough (0.75).
+        near_peak = np.sum(np.abs(phase - 0.25) < 0.1)
+        near_trough = np.sum(np.abs(phase - 0.75) < 0.1)
+        assert near_peak > near_trough * 2
+
+    def test_jittered_regular_fills_intervals(self, rng):
+        times = JitteredRegular(2.0).generate(rng, 0, 100)
+        # Every 1-second interval gets at least one request at rate 2.
+        counts = np.bincount((times // 1).astype(int), minlength=100)
+        assert (counts[:99] >= 1).all()
+
+    def test_jittered_regular_short_window(self, rng):
+        times = JitteredRegular(0.001).generate(rng, 0, 10)
+        assert len(times) <= 1
+
+    def test_daily_batch_period(self, rng):
+        batch = DailyBatch(n_per_day=100, day_seconds=100.0, window=5.0, phase=10.0)
+        times = batch.generate(rng, 0, 400)
+        days = (times // 100).astype(int)
+        assert set(days) == {0, 1, 2, 3}
+        within = times % 100
+        assert ((within >= 10) & (within <= 15)).all()
+
+    def test_daily_batch_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            DailyBatch(10, 100.0, window=200.0)
+
+    def test_superpose_merges(self, rng):
+        s = Superpose([PoissonArrivals(5.0), PoissonArrivals(5.0)])
+        times = s.generate(rng, 0, 500)
+        assert len(times) == pytest.approx(5000, rel=0.15)
+        assert (np.diff(times) >= 0).all()
+
+    def test_microburst_adds_followers(self, rng):
+        mb = MicroBurst(PoissonArrivals(5.0), burst_prob=1.0, mean_extra=2.0, gap=1e-5)
+        times = mb.generate(rng, 0, 1000)
+        base = PoissonArrivals(5.0).generate(make_rng(0), 0, 1000)
+        assert len(times) > len(base) * 1.5
+        # Micro gaps present.
+        assert np.percentile(np.diff(times), 25) < 1e-3
+
+    def test_microburst_zero_prob_passthrough(self, rng):
+        mb = MicroBurst(PoissonArrivals(5.0), burst_prob=0.0)
+        times = mb.generate(rng, 0, 100)
+        assert (np.diff(times) >= 0).all()
+
+    def test_microburst_respects_window(self, rng):
+        mb = MicroBurst(PoissonArrivals(50.0), burst_prob=1.0, mean_extra=3.0, gap=0.5)
+        times = mb.generate(rng, 0, 10)
+        assert times.max() < 10
+
+    def test_arrival_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1)
+        with pytest.raises(ValueError):
+            OnOffArrivals(1, 1, 0, 1)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1, amplitude=2.0)
+        with pytest.raises(ValueError):
+            JitteredRegular(0)
+        with pytest.raises(ValueError):
+            MicroBurst(PoissonArrivals(1), burst_prob=2.0)
+
+
+class TestSizes:
+    def test_fixed(self, rng):
+        assert (FixedSize(8192).generate(rng, 5) == 8192).all()
+
+    def test_fixed_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            FixedSize(1000)
+
+    def test_choice_weights(self, rng):
+        cs = ChoiceSizes([4096, 8192], [0.8, 0.2])
+        draws = cs.generate(rng, 20000)
+        assert np.mean(draws == 4096) == pytest.approx(0.8, abs=0.02)
+        assert cs.mean() == pytest.approx(0.8 * 4096 + 0.2 * 8192)
+
+    def test_choice_validation(self):
+        with pytest.raises(ValueError):
+            ChoiceSizes([], [])
+        with pytest.raises(ValueError):
+            ChoiceSizes([1000], [1.0])
+        with pytest.raises(ValueError):
+            ChoiceSizes([4096], [-1.0])
+
+    def test_lognormal_alignment_and_bounds(self, rng):
+        ls = LognormalSizes(median=16384, sigma=1.0, min_size=512, max_size=65536)
+        draws = ls.generate(rng, 5000)
+        assert (draws % 512 == 0).all()
+        assert draws.min() >= 512 and draws.max() <= 65536
+
+    def test_small_request_mix_percentiles(self, rng):
+        # Paper Figure 2: 75% of cloud writes <= 16 KiB.
+        cs = small_request_mix("cloud_write")
+        draws = cs.generate(rng, 20000)
+        assert np.percentile(draws, 75) <= 16 * 1024
+
+    def test_small_request_mix_unknown(self):
+        with pytest.raises(ValueError):
+            small_request_mix("nope")
+
+
+class TestAddresses:
+    def test_uniform_random_in_region(self, rng):
+        m = UniformRandom(region_size=1024 * BS, region_start=10 * BS)
+        sizes = np.full(1000, BS)
+        offsets = m.generate(rng, sizes)
+        assert offsets.min() >= 10 * BS
+        assert (offsets + sizes <= 10 * BS + 1024 * BS).all()
+        assert (offsets % BS == 0).all()
+
+    def test_zipf_hotspot_skew(self, rng):
+        m = ZipfHotspot(n_blocks=100, region_size=1000 * BS, s=1.3, seed=1)
+        offsets = m.generate(rng, np.full(20000, BS))
+        _, counts = np.unique(offsets, return_counts=True)
+        assert counts.max() > counts.mean() * 5
+
+    def test_zipf_hotspot_bounded_working_set(self, rng):
+        m = ZipfHotspot(n_blocks=50, region_size=1000 * BS, seed=2)
+        offsets = m.generate(rng, np.full(5000, BS))
+        assert len(np.unique(offsets)) <= 50
+
+    def test_zipf_hotspot_rejects_small_region(self):
+        with pytest.raises(ValueError):
+            ZipfHotspot(n_blocks=100, region_size=10 * BS)
+
+    def test_sequential_runs_mostly_contiguous(self, rng):
+        m = SequentialRuns(region_size=10**9, jump_prob=0.0)
+        sizes = np.full(100, BS)
+        offsets = m.generate(rng, sizes)
+        assert (np.diff(offsets) == BS).all()
+
+    def test_sequential_runs_state_persists(self, rng):
+        m = SequentialRuns(region_size=10**9, jump_prob=0.0)
+        first = m.generate(rng, np.full(10, BS))
+        second = m.generate(rng, np.full(10, BS))
+        assert second[0] == first[-1] + BS
+
+    def test_sequential_runs_jumps(self, rng):
+        m = SequentialRuns(region_size=10**9, jump_prob=1.0)
+        offsets = m.generate(rng, np.full(200, BS))
+        # All jumps: offsets are scattered, not contiguous.
+        assert (np.diff(offsets) != BS).any()
+
+    def test_sequential_stays_in_region(self, rng):
+        region = 100 * BS
+        m = SequentialRuns(region_size=region, jump_prob=0.01)
+        sizes = np.full(5000, BS)
+        offsets = m.generate(rng, sizes)
+        assert offsets.min() >= 0
+        assert (offsets + sizes <= region).all()
+
+    def test_circular_log_wraps_and_covers(self, rng):
+        region = 50 * BS
+        m = CircularLog(region_size=region)
+        sizes = np.full(500, BS)
+        offsets = m.generate(rng, sizes)
+        assert offsets.min() >= 0
+        assert (offsets + sizes <= region).all()
+        # Wrapping rewrites blocks: fewer distinct offsets than requests.
+        assert len(np.unique(offsets)) < 500
+
+    def test_circular_log_sequential_between_wraps(self, rng):
+        m = CircularLog(region_size=1000 * BS)
+        offsets = m.generate(rng, np.full(10, BS))
+        assert (np.diff(offsets) == BS).all()
+
+    def test_mixture_uses_all_models(self, rng):
+        a = UniformRandom(region_size=100 * BS, region_start=0)
+        b = UniformRandom(region_size=100 * BS, region_start=10**9)
+        m = MixtureAddress([a, b], [0.5, 0.5])
+        offsets = m.generate(rng, np.full(200, BS))
+        assert (offsets < 10**6).any()
+        assert (offsets >= 10**9).any()
+
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            MixtureAddress([], [])
+
+    @given(st.integers(1, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_circular_log_in_bounds(self, n):
+        rng = np.random.default_rng(n)
+        region = 64 * BS
+        m = CircularLog(region_size=region)
+        sizes = rng.choice([512, BS, 2 * BS], size=n).astype(np.int64)
+        offsets = m.generate(rng, sizes)
+        assert (offsets >= 0).all()
+        assert (offsets + sizes <= region).all()

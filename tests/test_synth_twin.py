@@ -1,0 +1,109 @@
+"""Tests for repro.synth.twin (synthetic-twin fitting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import compute_profile, update_coverage
+from repro.synth import fit_twin, generate_volume, twin_spec
+from repro.trace import VolumeTrace
+
+from conftest import make_trace
+
+BS = 4096
+
+
+class TestFitTwin:
+    def test_basic_parameters(self, tiny_ali):
+        vol = max(tiny_ali.non_empty_volumes(), key=len)
+        params = fit_twin(vol)
+        assert params.volume_id == vol.volume_id
+        assert params.rate == pytest.approx(len(vol) / vol.duration, rel=0.01)
+        assert params.write_fraction == pytest.approx(vol.n_writes / len(vol))
+        assert params.read_wss_blocks >= 0
+        assert params.write_wss_blocks > 0
+
+    def test_rejects_tiny_trace(self):
+        with pytest.raises(ValueError, match="at least 10"):
+            fit_twin(make_trace())
+
+    def test_size_mixture_folds_rare_sizes(self, rng):
+        sizes = rng.choice([512 * k for k in range(1, 40)], size=2000).tolist()
+        tr = make_trace(
+            timestamps=np.arange(2000, dtype=float),
+            offsets=[0] * 2000,
+            sizes=sizes,
+            is_write=[False] * 2000,
+        )
+        params = fit_twin(tr)
+        assert params.read_sizes is not None
+        assert len(params.read_sizes.sizes) <= 12
+        # The mixture's mean tracks the empirical mean.
+        assert params.read_sizes.mean() == pytest.approx(np.mean(sizes), rel=0.1)
+
+    def test_write_only_volume(self):
+        tr = make_trace(
+            timestamps=np.arange(20, dtype=float),
+            offsets=[i * BS for i in range(20)],
+            sizes=[BS] * 20,
+            is_write=[True] * 20,
+        )
+        params = fit_twin(tr)
+        assert params.read_sizes is None
+        assert params.write_fraction == 1.0
+        assert params.is_write_dominant
+
+
+class TestTwinSpec:
+    def test_twin_matches_original_profile(self, tiny_ali, rng):
+        """The generated twin reproduces the original volume's headline
+        characteristics."""
+        original = max(tiny_ali.non_empty_volumes(), key=len)
+        params = fit_twin(original)
+        spec = twin_spec(params, seed=5)
+        twin = generate_volume(spec, rng, 0.0, original.duration)
+
+        assert len(twin) == pytest.approx(len(original), rel=0.25)
+        wf_twin = twin.n_writes / len(twin)
+        wf_orig = original.n_writes / len(original)
+        assert wf_twin == pytest.approx(wf_orig, abs=0.05)
+        # Mean request sizes match per op.
+        if original.n_writes and twin.n_writes:
+            assert twin.sizes[twin.is_write].mean() == pytest.approx(
+                original.sizes[original.is_write].mean(), rel=0.2
+            )
+
+    def test_twin_reproduces_skew(self, rng):
+        """A hot-set volume's twin keeps its update intensity."""
+        from repro.synth import ZipfHotspot
+
+        model = ZipfHotspot(n_blocks=300, region_size=3000 * BS, s=1.2, seed=4)
+        sizes = np.full(20000, BS)
+        offsets = model.generate(rng, sizes)
+        original = make_trace(
+            timestamps=np.linspace(0, 1000, 20000),
+            offsets=offsets.tolist(),
+            sizes=sizes.tolist(),
+            is_write=[True] * 20000,
+        )
+        params = fit_twin(original)
+        assert params.write_zipf_s > 0.5
+        twin = generate_volume(twin_spec(params, seed=6), rng, 0.0, 1000.0)
+        assert update_coverage(twin) == pytest.approx(update_coverage(original), abs=0.25)
+
+    def test_twin_id_suffix(self, tiny_ali):
+        vol = max(tiny_ali.non_empty_volumes(), key=len)
+        spec = twin_spec(fit_twin(vol))
+        assert spec.volume_id.endswith("-twin")
+
+    def test_uniform_volume_gets_uniform_addresses(self, rng):
+        offsets = (rng.integers(0, 1 << 16, 5000) * BS).tolist()
+        tr = make_trace(
+            timestamps=np.arange(5000, dtype=float),
+            offsets=offsets,
+            sizes=[BS] * 5000,
+            is_write=[False] * 5000,
+        )
+        params = fit_twin(tr)
+        assert params.read_zipf_s < 0.5  # near-uniform popularity
+        twin = generate_volume(twin_spec(params, seed=7), rng, 0.0, 5000.0)
+        assert update_coverage(twin) < 0.9

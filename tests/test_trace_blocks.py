@@ -1,0 +1,139 @@
+"""Tests for repro.trace.blocks (request-to-block expansion)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.blocks import (
+    block_events,
+    block_range,
+    block_traffic,
+    expand_to_blocks,
+    unique_blocks,
+    working_set_size,
+)
+
+from conftest import make_trace
+
+BS = 4096
+
+
+class TestBlockRange:
+    def test_aligned_single_block(self):
+        assert block_range(0, BS, BS) == (0, 1)
+
+    def test_aligned_multi_block(self):
+        assert block_range(BS, 3 * BS, BS) == (1, 3)
+
+    def test_unaligned_spans_extra_block(self):
+        # 512 bytes starting 512 before a boundary touch one block;
+        # starting ON the boundary minus 256 touches two.
+        assert block_range(BS - 256, 512, BS) == (0, 2)
+
+    def test_one_byte(self):
+        assert block_range(BS, 1, BS) == (1, 1)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            block_range(0, 0, BS)
+
+
+class TestExpandToBlocks:
+    def test_empty(self):
+        req, blk, nb = expand_to_blocks(np.array([]), np.array([]))
+        assert len(req) == len(blk) == len(nb) == 0
+
+    def test_single_aligned_request(self):
+        req, blk, nb = expand_to_blocks(np.array([BS]), np.array([2 * BS]))
+        assert list(req) == [0, 0]
+        assert list(blk) == [1, 2]
+        assert list(nb) == [BS, BS]
+
+    def test_partial_first_and_last_block(self):
+        req, blk, nb = expand_to_blocks(np.array([BS // 2]), np.array([BS]))
+        assert list(blk) == [0, 1]
+        assert list(nb) == [BS // 2, BS // 2]
+        assert nb.sum() == BS
+
+    def test_bytes_conserved(self):
+        offsets = np.array([0, 100, BS * 7 + 13])
+        sizes = np.array([BS * 3, 50, BS * 2 + 1])
+        _, _, nb = expand_to_blocks(offsets, sizes)
+        assert nb.sum() == sizes.sum()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**9),
+                st.integers(min_value=1, max_value=10**6),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_bytes_and_ranges(self, reqs):
+        offsets = np.array([o for o, _ in reqs], dtype=np.int64)
+        sizes = np.array([s for _, s in reqs], dtype=np.int64)
+        req_idx, blk, nb = expand_to_blocks(offsets, sizes)
+        # Total bytes conserved.
+        assert nb.sum() == sizes.sum()
+        # Every per-block byte count is within (0, block_size].
+        assert (nb > 0).all() and (nb <= BS).all()
+        # Each request's blocks form a contiguous ascending run covering
+        # exactly its byte range.
+        for i, (o, s) in enumerate(reqs):
+            mask = req_idx == i
+            blocks = blk[mask]
+            assert (np.diff(blocks) == 1).all()
+            assert blocks[0] == o // BS
+            assert blocks[-1] == (o + s - 1) // BS
+            assert nb[mask].sum() == s
+
+
+class TestBlockEvents:
+    def test_event_ordering_follows_requests(self):
+        tr = make_trace(
+            timestamps=[0.0, 1.0],
+            offsets=[0, 0],
+            sizes=[2 * BS, BS],
+            is_write=[True, False],
+        )
+        ev = block_events(tr)
+        assert list(ev.block_id) == [0, 1, 0]
+        assert list(ev.is_write) == [True, True, False]
+        assert list(ev.timestamps) == [0.0, 0.0, 1.0]
+
+    def test_reads_writes_views(self):
+        tr = make_trace(is_write=[True, False, True, False])
+        ev = block_events(tr)
+        assert len(ev.reads()) == 2
+        assert len(ev.writes()) == 2
+
+
+class TestAggregates:
+    def test_unique_blocks(self):
+        tr = make_trace(offsets=[0, 0, BS, 2 * BS], sizes=[BS] * 4)
+        assert list(unique_blocks(tr)) == [0, 1, 2]
+
+    def test_working_set_size(self):
+        tr = make_trace(offsets=[0, 0, BS, 2 * BS], sizes=[BS] * 4)
+        assert working_set_size(tr) == 3 * BS
+
+    def test_block_traffic_split_by_op(self):
+        tr = make_trace(
+            offsets=[0, 0, BS, 0],
+            sizes=[BS, BS, BS, BS],
+            is_write=[True, False, True, True],
+        )
+        blocks, rd, wr = block_traffic(tr)
+        assert list(blocks) == [0, 1]
+        assert list(rd) == [BS, 0]
+        assert list(wr) == [2 * BS, BS]
+
+    def test_block_traffic_empty(self):
+        from repro.trace import VolumeTrace
+
+        blocks, rd, wr = block_traffic(VolumeTrace.empty("v"))
+        assert len(blocks) == 0

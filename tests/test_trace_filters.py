@@ -1,0 +1,107 @@
+"""Tests for repro.trace.filters and repro.trace.validation."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    TraceDataset,
+    VolumeTrace,
+    filter_time_range,
+    filter_volumes,
+    reads_only,
+    rebase_timestamps,
+    split_days,
+    top_traffic_volume_ids,
+    validate_dataset,
+    validate_volume,
+    writes_only,
+)
+
+from conftest import make_trace
+
+
+class TestFilters:
+    def test_filter_volumes(self, simple_dataset):
+        out = filter_volumes(simple_dataset, lambda v: v.n_writes > 0)
+        assert out.volume_ids() == ["v0"]
+
+    def test_filter_time_range_keeps_empty_volumes(self, simple_dataset):
+        out = filter_time_range(simple_dataset, 100.0, 200.0)
+        assert out.n_volumes == 2
+        assert out.n_requests == 0
+
+    def test_filter_time_range_half_open(self, simple_dataset):
+        out = filter_time_range(simple_dataset, 0.0, 10.0)
+        # v0 has requests at 0 and 10; only t=0 is inside [0, 10).
+        assert out["v0"].n_requests == 1
+        assert out["v1"].n_requests == 2
+
+    def test_reads_only(self, simple_dataset):
+        out = reads_only(simple_dataset)
+        assert out.n_writes == 0
+        assert out.n_reads == simple_dataset.n_reads
+
+    def test_writes_only(self, simple_dataset):
+        out = writes_only(simple_dataset)
+        assert out.n_reads == 0
+        assert out.n_writes == simple_dataset.n_writes
+
+    def test_rebase_timestamps(self, simple_dataset):
+        out = rebase_timestamps(simple_dataset)
+        assert out.start_time == 0.0
+        assert out.duration == pytest.approx(simple_dataset.duration)
+
+    def test_rebase_with_origin(self, simple_dataset):
+        out = rebase_timestamps(simple_dataset, origin=-10.0)
+        assert out.start_time == pytest.approx(10.0)
+
+    def test_split_days(self, simple_dataset):
+        days = split_days(simple_dataset, day_seconds=10.0)
+        assert len(days) == 4  # span [0, 30] inclusive of the endpoint
+        assert days[0][1].n_requests == 3  # t=0, 5, 6
+        total = sum(d.n_requests for _, d in days)
+        assert total == simple_dataset.n_requests
+
+    def test_top_traffic(self, simple_dataset):
+        ids = top_traffic_volume_ids(simple_dataset, k=1)
+        assert ids == ["v0"]  # 16 KiB vs 12 KiB
+
+    def test_top_traffic_k_larger_than_fleet(self, simple_dataset):
+        assert len(top_traffic_volume_ids(simple_dataset, k=10)) == 2
+
+
+class TestValidation:
+    def test_clean_trace(self):
+        report = validate_volume(make_trace())
+        assert report.ok
+        report.raise_if_invalid()  # no-op
+
+    def test_empty_trace_is_clean(self):
+        assert validate_volume(VolumeTrace.empty("v")).ok
+
+    def test_beyond_capacity(self):
+        tr = make_trace(capacity=8192, offsets=[0, 4096, 8192, 12288])
+        report = validate_volume(tr)
+        codes = {i.code for i in report.issues}
+        assert "beyond-capacity" in codes
+
+    def test_alignment_check_optional(self):
+        tr = make_trace(offsets=[0, 100, 200, 300])
+        assert validate_volume(tr).ok
+        report = validate_volume(tr, check_alignment=True)
+        assert any(i.code == "unaligned-offset" for i in report.issues)
+
+    def test_raise_if_invalid(self):
+        tr = make_trace(capacity=1, offsets=[0, 0, 0, 0])
+        report = validate_volume(tr)
+        with pytest.raises(ValueError, match="validation failed"):
+            report.raise_if_invalid()
+
+    def test_dataset_validation_aggregates(self, simple_dataset):
+        report = validate_dataset(simple_dataset)
+        assert report.ok
+
+    def test_issue_str_includes_volume(self):
+        tr = make_trace("weird", capacity=1)
+        report = validate_volume(tr)
+        assert "[weird]" in str(report.issues[0])

@@ -1,0 +1,67 @@
+"""Tests for repro.trace.record."""
+
+import pytest
+
+from repro.trace import IORequest, OpType
+from repro.trace.record import DEFAULT_BLOCK_SIZE, SECTOR_SIZE
+
+
+class TestOpType:
+    def test_parse_single_letter(self):
+        assert OpType.parse("R") is OpType.READ
+        assert OpType.parse("W") is OpType.WRITE
+
+    def test_parse_words(self):
+        assert OpType.parse("Read") is OpType.READ
+        assert OpType.parse("Write") is OpType.WRITE
+
+    def test_parse_case_insensitive(self):
+        assert OpType.parse("r") is OpType.READ
+        assert OpType.parse("wRiTe") is OpType.WRITE
+
+    def test_parse_strips_whitespace(self):
+        assert OpType.parse(" R ") is OpType.READ
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unrecognized opcode"):
+            OpType.parse("X")
+
+    def test_is_write(self):
+        assert OpType.WRITE.is_write
+        assert not OpType.READ.is_write
+
+
+class TestIORequest:
+    def test_basic_fields(self):
+        req = IORequest("vol1", OpType.READ, offset=4096, size=8192, timestamp=1.5)
+        assert req.volume == "vol1"
+        assert req.end_offset == 4096 + 8192
+        assert req.is_read and not req.is_write
+
+    def test_write_flags(self):
+        req = IORequest("v", OpType.WRITE, 0, 512, 0.0)
+        assert req.is_write and not req.is_read
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError, match="negative offset"):
+            IORequest("v", OpType.READ, -1, 512, 0.0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError, match="non-positive size"):
+            IORequest("v", OpType.READ, 0, 0, 0.0)
+
+    def test_response_time_optional(self):
+        req = IORequest("v", OpType.READ, 0, 512, 0.0)
+        assert req.response_time is None
+        req2 = IORequest("v", OpType.READ, 0, 512, 0.0, response_time=0.001)
+        assert req2.response_time == pytest.approx(0.001)
+
+    def test_frozen(self):
+        req = IORequest("v", OpType.READ, 0, 512, 0.0)
+        with pytest.raises(AttributeError):
+            req.offset = 5
+
+
+def test_constants_sane():
+    assert SECTOR_SIZE == 512
+    assert DEFAULT_BLOCK_SIZE % SECTOR_SIZE == 0

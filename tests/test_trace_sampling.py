@@ -1,0 +1,103 @@
+"""Tests for repro.trace.sampling (DiskAccel-style representative sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import VolumeTrace, interval_features, select_representatives
+
+from conftest import make_trace
+
+BS = 4096
+
+
+def phased_trace(n_intervals=20, interval=10.0, per_interval=30):
+    """Alternating workload phases: sequential reads vs random writes."""
+    rng = np.random.default_rng(0)
+    ts, offs, sizes, w = [], [], [], []
+    for i in range(n_intervals):
+        base = i * interval
+        times = np.sort(base + rng.random(per_interval) * interval)
+        ts.extend(times.tolist())
+        if i % 2 == 0:  # sequential read phase
+            offs.extend(((i * per_interval + np.arange(per_interval)) * BS).tolist())
+            w.extend([False] * per_interval)
+        else:  # random write phase
+            offs.extend((rng.integers(0, 1 << 20, per_interval) * BS).tolist())
+            w.extend([True] * per_interval)
+        sizes.extend([BS] * per_interval)
+    return make_trace("phased", timestamps=ts, offsets=offs, sizes=sizes, is_write=w)
+
+
+class TestIntervalFeatures:
+    def test_shape_and_counts(self):
+        tr = phased_trace(n_intervals=10)
+        starts, feats = interval_features(tr, 10.0)
+        assert feats.shape == (10, 5)
+        # ~30 requests per interval (edge-of-interval requests may land in
+        # the neighbouring bucket), all requests accounted for.
+        assert feats[:, 0].sum() == len(tr)
+        assert np.all(np.abs(feats[:, 0] - 30) <= 2)
+
+    def test_write_fraction_feature(self):
+        tr = phased_trace(n_intervals=6)
+        _, feats = interval_features(tr, 10.0)
+        assert np.allclose(feats[::2, 1], 0.0)  # read phases
+        assert np.allclose(feats[1::2, 1], 1.0)  # write phases
+
+    def test_empty_intervals_zero(self):
+        tr = make_trace(timestamps=[0.0, 25.0], offsets=[0, 0], sizes=[BS] * 2, is_write=[False] * 2)
+        _, feats = interval_features(tr, 10.0)
+        assert feats[1].sum() == 0.0  # the gap interval
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interval_features(phased_trace(), 0.0)
+        with pytest.raises(ValueError):
+            interval_features(VolumeTrace.empty("v"), 10.0)
+
+
+class TestSelectRepresentatives:
+    def test_separates_phases(self):
+        tr = phased_trace(n_intervals=20)
+        sampled = select_representatives(tr, 10.0, k=2, seed=1)
+        # With two workload phases and k=2, the representatives come from
+        # different phases and weights split ~evenly.
+        assert len(sampled.intervals) == 2
+        assert sorted(sampled.weights.tolist()) == [10.0, 10.0]
+        write_fracs = sorted(
+            seg.n_writes / max(len(seg), 1) for seg in sampled.intervals
+        )
+        assert write_fracs[0] < 0.2 and write_fracs[1] > 0.8
+
+    def test_weighted_request_estimate(self):
+        tr = phased_trace(n_intervals=20)
+        sampled = select_representatives(tr, 10.0, k=4, seed=2)
+        estimate = sampled.estimate_total_requests()
+        assert estimate == pytest.approx(len(tr), rel=0.15)
+
+    def test_speedup(self):
+        tr = phased_trace(n_intervals=20)
+        sampled = select_representatives(tr, 10.0, k=4, seed=0)
+        assert sampled.speedup >= 20 / 4
+
+    def test_k_clipped_to_intervals(self):
+        tr = phased_trace(n_intervals=4)
+        sampled = select_representatives(tr, 10.0, k=50, seed=0)
+        assert len(sampled.intervals) <= 4
+
+    def test_deterministic(self):
+        tr = phased_trace()
+        a = select_representatives(tr, 10.0, k=3, seed=5)
+        b = select_representatives(tr, 10.0, k=3, seed=5)
+        assert np.array_equal(a.representative_starts, b.representative_starts)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            select_representatives(phased_trace(), 10.0, k=0)
+
+    def test_on_synthetic_volume(self, tiny_ali):
+        vol = max(tiny_ali.non_empty_volumes(), key=len)
+        interval = max(vol.duration / 24, 1.0)
+        sampled = select_representatives(vol, interval, k=6, seed=3)
+        assert sampled.estimate_total_requests() == pytest.approx(len(vol), rel=0.6)
+        assert 1 <= len(sampled.intervals) <= 6

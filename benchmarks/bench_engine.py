@@ -1,0 +1,150 @@
+"""Engine vs legacy analysis paths on a synthetic AliCloud fleet.
+
+Standalone benchmark (not pytest): generates a fleet, writes it to trace
+files once, then times three ways of profiling every volume from those
+files:
+
+* ``row-stream`` — the legacy bounded-memory path: row readers yielding
+  one ``IORequest`` object per line into ``stream_profile_requests``.
+* ``columnar`` — the legacy in-memory path: ``read_dataset_dir`` (row
+  parsing) followed by vectorized per-volume analysis of the arrays.
+* ``engine`` — ``repro.engine``: chunked columnar parsing folded through
+  :class:`~repro.engine.analyzers.StreamingProfileAnalyzer`, at each
+  requested worker count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py             # full (~1M requests)
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke     # CI-sized
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+
+def _generate(directory: str, n_volumes: int, day_seconds: float, n_days: int) -> int:
+    from repro.synth import Scale, make_alicloud_fleet
+    from repro.trace import write_dataset_dir
+
+    scale = Scale(n_days=n_days, day_seconds=day_seconds)
+    fleet = make_alicloud_fleet(n_volumes=n_volumes, seed=0, scale=scale)
+    write_dataset_dir(fleet, directory, fmt="alicloud")
+    return fleet.n_requests
+
+
+def _bench_row_stream(directory: str):
+    from repro.core import stream_profile_requests
+    from repro.engine.chunks import list_trace_files
+    from repro.trace.reader import iter_alicloud_requests
+
+    def all_requests():
+        for path in list_trace_files(directory):
+            yield from iter_alicloud_requests(path)
+
+    return stream_profile_requests(all_requests())
+
+
+def _bench_columnar(directory: str):
+    from repro.core import working_sets
+    from repro.core.load_intensity import average_intensity
+    from repro.trace import read_dataset_dir
+
+    dataset = read_dataset_dir(directory, fmt="alicloud")
+    out = {}
+    for trace in dataset.non_empty_volumes():
+        ws = working_sets(trace)
+        out[trace.volume_id] = (
+            len(trace),
+            int(trace.sizes[trace.is_write].sum()),
+            average_intensity(trace),
+            ws.total,
+            np.percentile(trace.sizes, [25, 50, 75, 90, 95]),
+            np.percentile(np.diff(trace.timestamps), [25, 50, 75, 90, 95])
+            if len(trace) > 1
+            else None,
+        )
+    return out
+
+
+def _bench_engine(directory: str, workers: int, chunk_size: int):
+    from repro.engine import StreamingProfileAnalyzer, run
+
+    return run(
+        directory,
+        [StreamingProfileAnalyzer()],
+        fmt="alicloud",
+        chunk_size=chunk_size,
+        workers=workers,
+    )
+
+
+def _timed(label: str, fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    elapsed = time.perf_counter() - start
+    print(f"  {label:<24} {elapsed:8.3f} s")
+    return label, elapsed, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick run")
+    parser.add_argument("--volumes", type=int, default=None)
+    parser.add_argument("--days", type=int, default=None)
+    parser.add_argument("--day-seconds", type=float, default=None)
+    parser.add_argument("--chunk-size", type=int, default=65536)
+    parser.add_argument("--workers", type=int, nargs="*", default=[1, 4])
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_volumes, n_days, day_seconds = 6, 2, 60.0
+    else:
+        # ~1M+ requests: the acceptance-criteria scale.
+        n_volumes, n_days, day_seconds = 60, 31, 240.0
+    n_volumes = args.volumes or n_volumes
+    n_days = args.days or n_days
+    day_seconds = args.day_seconds or day_seconds
+
+    with tempfile.TemporaryDirectory(prefix="bench_engine_") as tmp:
+        directory = os.path.join(tmp, "fleet")
+        os.mkdir(directory)
+        print(f"generating fleet: {n_volumes} volumes x {n_days} days ...")
+        n_requests = _generate(directory, n_volumes, day_seconds, n_days)
+        print(f"fleet: {n_requests} requests in {len(os.listdir(directory))} files\n")
+
+        times = {}
+        print("timings:")
+        for label, elapsed, _ in (
+            _timed("row-stream (legacy)", _bench_row_stream, directory),
+            _timed("columnar (legacy)", _bench_columnar, directory),
+        ):
+            times[label] = elapsed
+        engine_times = {}
+        for workers in args.workers:
+            label = f"engine workers={workers}"
+            _, elapsed, result = _timed(
+                label, _bench_engine, directory, workers, args.chunk_size
+            )
+            engine_times[workers] = elapsed
+            assert result.n_volumes == n_volumes
+
+        print("\nspeedups vs row-stream (legacy):")
+        row = times["row-stream (legacy)"]
+        for workers, elapsed in engine_times.items():
+            print(f"  engine workers={workers}: {row / elapsed:5.2f}x")
+        columnar = times["columnar (legacy)"]
+        if 1 in engine_times:
+            print(
+                f"\nengine workers=1 vs columnar (legacy): "
+                f"{columnar / engine_times[1]:5.2f}x"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ provides:
 * :mod:`repro.stats` — CDF/boxplot/histogram statistics toolkit,
 * :mod:`repro.synth` — calibrated synthetic fleet generation,
 * :mod:`repro.core` — the paper's characterization metrics and 15 findings,
+* :mod:`repro.engine` — chunked columnar one-pass analysis engine with
+  process-pool fan-out across volumes,
 * :mod:`repro.cache` — cache policies, trace-driven simulation, MRC tools,
 * :mod:`repro.cluster` — SSD/FTL model, placement, balancing, offloading.
 
@@ -19,7 +21,7 @@ Quickstart::
     print(profile.write_read_ratio, profile.update_coverage)
 """
 
-from . import cache, cluster, core, stats, synth, trace
+from . import cache, cluster, core, engine, stats, synth, trace
 from .trace import (
     DEFAULT_BLOCK_SIZE,
     IORequest,
@@ -47,6 +49,7 @@ __all__ = [
     "cache",
     "cluster",
     "core",
+    "engine",
     "stats",
     "synth",
     "trace",

@@ -16,22 +16,42 @@ import math
 import sys
 from typing import List, Optional
 
+import numpy as np
+
+from . import __version__
 from .core import (
     basic_statistics,
     compute_profile,
     evaluate_findings,
     format_table,
 )
+from .engine import DEFAULT_CHUNK_SIZE, read_dataset_dir_chunked
+from .engine.runner import parallel_map
 from .synth import alicloud_scale, make_alicloud_fleet, make_msrc_fleet, msrc_scale
 from .trace import TraceDataset, read_dataset_dir, write_dataset_dir
 
 __all__ = ["main", "build_parser"]
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared execution-engine knobs (see repro.engine)."""
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for per-file/per-volume fan-out (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help=f"trace rows parsed per columnar batch (default: {DEFAULT_CHUNK_SIZE})",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Workload characterization toolkit for cloud block storage traces",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -49,19 +69,30 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
     ana.add_argument("--block-size", type=int, default=4096)
     ana.add_argument("--output", default="-", help="output JSON path ('-' for stdout)")
+    _add_engine_flags(ana)
 
     rep = sub.add_parser("report", help="fleet-level summary of a trace directory")
     rep.add_argument("trace_dir")
     rep.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
     rep.add_argument("--block-size", type=int, default=4096)
+    _add_engine_flags(rep)
 
     fnd = sub.add_parser("findings", help="evaluate the paper's 15 findings on synthetic fleets")
     fnd.add_argument("--volumes", type=int, default=60, help="AliCloud-side volumes")
     fnd.add_argument("--seed", type=int, default=0)
     fnd.add_argument("--day-seconds", type=float, default=240.0)
     fnd.add_argument(
+        "--ali-dir", default=None,
+        help="evaluate an AliCloud-format trace directory instead of a synthetic fleet",
+    )
+    fnd.add_argument(
+        "--msrc-dir", default=None,
+        help="evaluate an MSRC-format trace directory instead of a synthetic fleet",
+    )
+    fnd.add_argument(
         "--verbose", action="store_true", help="print the measured evidence per finding"
     )
+    _add_engine_flags(fnd)
 
     exp = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures on synthetic fleets"
@@ -83,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
     stream.add_argument("--block-size", type=int, default=4096)
     stream.add_argument("--output", default="-", help="output JSON path ('-' for stdout)")
+    _add_engine_flags(stream)
 
     val = sub.add_parser("validate", help="sanity-check the trace files in a directory")
     val.add_argument("trace_dir")
@@ -114,6 +146,10 @@ def _generate(args: argparse.Namespace) -> int:
 
 
 def _json_safe(value):
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return _json_safe(value.item())
     if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
         return None
     if isinstance(value, dict):
@@ -123,11 +159,22 @@ def _json_safe(value):
     return value
 
 
+def _profile_volume(trace, block_size: int):
+    """Module-level so :func:`repro.engine.runner.parallel_map` can pickle it."""
+    return compute_profile(trace, block_size=block_size).to_dict()
+
+
 def _analyze(args: argparse.Namespace) -> int:
-    dataset = read_dataset_dir(args.trace_dir, fmt=args.format)
+    dataset = read_dataset_dir_chunked(
+        args.trace_dir, fmt=args.format,
+        chunk_size=args.chunk_size, workers=args.workers,
+    )
     profiles = [
-        _json_safe(compute_profile(v, block_size=args.block_size).to_dict())
-        for v in dataset.volumes()
+        _json_safe(d)
+        for d in parallel_map(
+            _profile_volume, dataset.volumes(), args.workers,
+            block_size=args.block_size,
+        )
     ]
     payload = json.dumps({"dataset": dataset.name, "profiles": profiles}, indent=2)
     if args.output == "-":
@@ -140,8 +187,11 @@ def _analyze(args: argparse.Namespace) -> int:
 
 
 def _report(args: argparse.Namespace) -> int:
-    dataset = read_dataset_dir(args.trace_dir, fmt=args.format)
-    stats = basic_statistics(dataset, block_size=args.block_size)
+    dataset = read_dataset_dir_chunked(
+        args.trace_dir, fmt=args.format,
+        chunk_size=args.chunk_size, workers=args.workers,
+    )
+    stats = basic_statistics(dataset, block_size=args.block_size, workers=args.workers)
     rows = [
         ["Number of volumes", stats.n_volumes],
         ["Duration (days)", stats.duration_days],
@@ -162,8 +212,20 @@ def _report(args: argparse.Namespace) -> int:
 def _findings(args: argparse.Namespace) -> int:
     scale_a = alicloud_scale(day_seconds=args.day_seconds)
     scale_m = msrc_scale(day_seconds=args.day_seconds)
-    ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
-    msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
+    if args.ali_dir is not None:
+        ali = read_dataset_dir_chunked(
+            args.ali_dir, fmt="alicloud",
+            chunk_size=args.chunk_size, workers=args.workers,
+        )
+    else:
+        ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
+    if args.msrc_dir is not None:
+        msrc = read_dataset_dir_chunked(
+            args.msrc_dir, fmt="msrc",
+            chunk_size=args.chunk_size, workers=args.workers,
+        )
+    else:
+        msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
     findings = evaluate_findings(
         ali,
         msrc,
@@ -203,23 +265,20 @@ def _experiments(args: argparse.Namespace) -> int:
 def _stream_analyze(args: argparse.Namespace) -> int:
     import os
 
-    from .core.streaming_profile import stream_profile_requests
-    from .trace.reader import iter_alicloud_requests, iter_msrc_requests
+    from .engine import StreamingProfileAnalyzer, run_files
+    from .engine.chunks import list_trace_files
 
-    iter_fn = iter_alicloud_requests if args.format == "alicloud" else iter_msrc_requests
-    files = sorted(
-        os.path.join(args.trace_dir, f)
-        for f in os.listdir(args.trace_dir)
-        if f.endswith(".csv") or f.endswith(".csv.gz")
-    )
+    files = list_trace_files(args.trace_dir)
     if not files:
         raise FileNotFoundError(f"no trace files in {args.trace_dir!r}")
-
-    def all_requests():
-        for path in files:
-            yield from iter_fn(path)
-
-    profiles = stream_profile_requests(all_requests(), block_size=args.block_size)
+    result = run_files(
+        files,
+        [StreamingProfileAnalyzer(block_size=args.block_size)],
+        fmt=args.format,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+    )
+    profiles = result.analyzer("streaming_profile")
     payload = json.dumps(
         {
             "dataset": os.path.basename(os.path.normpath(args.trace_dir)),

@@ -68,17 +68,27 @@ def basic_statistics(
     dataset: TraceDataset,
     block_size: int = DEFAULT_BLOCK_SIZE,
     duration_days: Optional[float] = None,
+    workers: int = 1,
 ) -> BasicStatistics:
     """Compute Table I for a dataset.
 
     *Update traffic* is the write traffic to blocks after their first
     write (re-writes); WSS rows count distinct 4 KiB blocks.  The trace
     duration defaults to the observed span rounded up to whole days.
+    ``workers > 1`` fans the per-volume block expansions across a process
+    pool; the result is identical for every worker count.
     """
+    from ..engine.runner import parallel_map
+
+    per_volume = parallel_map(
+        _working_sets_and_update_traffic,
+        dataset.volumes(),
+        workers,
+        block_size=block_size,
+    )
     wss_total = wss_read = wss_write = wss_update = 0
     update_traffic = 0
-    for trace in dataset.volumes():
-        ws, upd = _working_sets_and_update_traffic(trace, block_size)
+    for ws, upd in per_volume:
         wss_total += ws.total
         wss_read += ws.read
         wss_write += ws.write

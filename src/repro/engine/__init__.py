@@ -1,0 +1,69 @@
+"""repro.engine — the unified chunked analysis engine.
+
+One shared execution substrate for every trace analysis:
+
+* :mod:`~repro.engine.chunks` — columnar :class:`Chunk` batches and
+  chunked trace readers that parse AliCloud/MSRC text straight into NumPy
+  arrays (no per-row object allocation).
+* :mod:`~repro.engine.analyzer` — the :class:`Analyzer` contract: every
+  metric as a mergeable ``init_state / consume / merge / finalize`` fold.
+* :mod:`~repro.engine.analyzers` — adapters re-expressing the paper's
+  load-intensity, spatial, temporal, and streaming-profile analyses as
+  engine folds.
+* :mod:`~repro.engine.runner` — the driver: many analyzers in one pass
+  per volume, volumes/files fanned out across a process pool with
+  deterministic merge order.
+
+Quickstart::
+
+    from repro.engine import run, LoadIntensityAnalyzer, StreamingProfileAnalyzer
+    result = run("traces/", [LoadIntensityAnalyzer(), StreamingProfileAnalyzer()],
+                 chunk_size=65536, workers=4)
+    profile = result.analyzer("streaming_profile")["vol0"]
+"""
+
+from .analyzer import Analyzer, reservoir_percentiles, volume_seed
+from .analyzers import (
+    DEFAULT_RESERVOIR_SIZE,
+    LoadIntensityAnalyzer,
+    LoadIntensityResult,
+    SpatialAnalyzer,
+    StreamingProfileAnalyzer,
+    TemporalAnalyzer,
+    TemporalResult,
+    WorkingSetSketch,
+)
+from .chunks import (
+    DEFAULT_CHUNK_SIZE,
+    Chunk,
+    chunks_from_trace,
+    iter_chunks,
+    list_trace_files,
+    read_dataset_dir_chunked,
+)
+from .runner import EngineResult, parallel_map, run, run_dataset, run_files
+
+__all__ = [
+    "Analyzer",
+    "reservoir_percentiles",
+    "volume_seed",
+    "DEFAULT_RESERVOIR_SIZE",
+    "LoadIntensityAnalyzer",
+    "LoadIntensityResult",
+    "SpatialAnalyzer",
+    "StreamingProfileAnalyzer",
+    "TemporalAnalyzer",
+    "TemporalResult",
+    "WorkingSetSketch",
+    "DEFAULT_CHUNK_SIZE",
+    "Chunk",
+    "chunks_from_trace",
+    "iter_chunks",
+    "list_trace_files",
+    "read_dataset_dir_chunked",
+    "EngineResult",
+    "parallel_map",
+    "run",
+    "run_dataset",
+    "run_files",
+]

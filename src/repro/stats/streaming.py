@@ -131,6 +131,56 @@ class ReservoirSampler:
         for x in xs:
             self.add(float(x))
 
+    def add_array(self, xs: np.ndarray) -> None:
+        """Vectorized bulk insert (algorithm R over a whole array).
+
+        Distributionally equivalent to calling :meth:`add` per element —
+        each incoming item t (1-based global index) replaces a uniformly
+        chosen slot ``j ~ U[0, t)`` when ``j < capacity`` — but draws the
+        random slots in one batch, so feeding chunked column arrays costs
+        O(accepted items) Python work instead of O(stream).
+        """
+        xs = np.asarray(xs, dtype=np.float64).ravel()
+        if len(xs) == 0:
+            return
+        fill = min(self.capacity - len(self._items), len(xs))
+        if fill > 0:
+            self._items.extend(xs[:fill].tolist())
+            self._seen += fill
+            xs = xs[fill:]
+            if len(xs) == 0:
+                return
+        t = self._seen + np.arange(1, len(xs) + 1, dtype=np.int64)
+        slots = (self._rng.random(len(xs)) * t).astype(np.int64)
+        self._seen += len(xs)
+        for i in np.flatnonzero(slots < self.capacity):
+            self._items[slots[i]] = float(xs[i])
+
+    def merge(self, other: "ReservoirSampler") -> "ReservoirSampler":
+        """Combine two reservoirs into one sample of the concatenated streams.
+
+        The number of survivors drawn from each side follows the
+        hypergeometric law of a uniform without-replacement sample over
+        the union stream, so quantile estimates from the merged reservoir
+        match those of a single-pass reservoir over both streams (used by
+        the engine's parallel per-file fold → merge reduction).
+        """
+        if other.capacity != self.capacity:
+            raise ValueError("can only merge reservoirs with identical capacity")
+        merged = ReservoirSampler(self.capacity, self._rng)
+        merged._seen = self._seen + other._seen
+        a, b = self.sample(), other.sample()
+        if len(a) + len(b) <= self.capacity:
+            merged._items = a.tolist() + b.tolist()
+            return merged
+        k = min(self.capacity, len(a) + len(b))
+        from_a = int(self._rng.hypergeometric(self._seen, other._seen, k))
+        from_a = min(max(from_a, k - len(b)), len(a))
+        pick_a = self._rng.choice(len(a), size=from_a, replace=False)
+        pick_b = self._rng.choice(len(b), size=k - from_a, replace=False)
+        merged._items = a[pick_a].tolist() + b[pick_b].tolist()
+        return merged
+
     @property
     def n_seen(self) -> int:
         return self._seen

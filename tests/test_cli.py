@@ -3,9 +3,12 @@
 import json
 import os
 
+import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro import __version__
+from repro.cli import _json_safe, build_parser, main
+from repro.engine import DEFAULT_CHUNK_SIZE
 
 
 class TestParser:
@@ -21,6 +24,40 @@ class TestParser:
     def test_findings_defaults(self):
         args = build_parser().parse_args(["findings"])
         assert args.volumes == 60
+        assert args.workers == 1
+        assert args.chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", ["analyze", "report", "stream-analyze"])
+    def test_engine_flags_accepted(self, command):
+        args = build_parser().parse_args([command, "dir", "--workers", "4", "--chunk-size", "1024"])
+        assert args.workers == 4
+        assert args.chunk_size == 1024
+
+
+class TestJsonSafe:
+    def test_non_finite_floats_become_null(self):
+        assert _json_safe(float("nan")) is None
+        assert _json_safe(float("inf")) is None
+        assert _json_safe({"a": float("-inf"), "b": 1.5}) == {"a": None, "b": 1.5}
+
+    def test_numpy_scalars_and_arrays(self):
+        value = {
+            "arr": np.array([1.0, np.nan, 3.0]),
+            "int": np.int64(7),
+            "float": np.float64("inf"),
+            "nested": [np.float32(2.0), (np.int32(1),)],
+        }
+        safe = _json_safe(value)
+        assert safe == {
+            "arr": [1.0, None, 3.0], "int": 7, "float": None, "nested": [2.0, [1]],
+        }
+        json.dumps(safe)  # round-trips cleanly
 
 
 class TestCommands:
@@ -118,6 +155,38 @@ class TestCommands:
         rc = main(["validate", str(d), "--check-alignment"])
         assert rc == 1
         assert "unaligned" in capsys.readouterr().out
+
+    def test_stream_analyze_parallel_matches_sequential(self, tmp_path, capsys):
+        out = str(tmp_path / "fleet")
+        main(["generate", out, "--volumes", "3", "--days", "2", "--day-seconds", "30"])
+        capsys.readouterr()
+        assert main(["stream-analyze", out, "--workers", "1", "--chunk-size", "64"]) == 0
+        sequential = json.loads(capsys.readouterr().out)
+        assert main(["stream-analyze", out, "--workers", "4", "--chunk-size", "64"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert sequential == parallel
+
+    def test_report_parallel_matches_sequential(self, tmp_path, capsys):
+        out = str(tmp_path / "fleet")
+        main(["generate", out, "--volumes", "3", "--days", "2", "--day-seconds", "30"])
+        capsys.readouterr()
+        assert main(["report", out, "--workers", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["report", out, "--workers", "4"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_findings_from_trace_dirs(self, tmp_path, capsys):
+        ali = str(tmp_path / "ali")
+        msrc = str(tmp_path / "msrc")
+        main(["generate", ali, "--volumes", "4", "--days", "2", "--day-seconds", "30"])
+        main(["generate", msrc, "--fleet", "msrc", "--volumes", "3", "--days", "2",
+              "--day-seconds", "30"])
+        capsys.readouterr()
+        rc = main(["findings", "--ali-dir", ali, "--msrc-dir", msrc,
+                   "--day-seconds", "30", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)  # tiny fleets need not satisfy all 15 findings
+        assert "of 15 findings hold" in out
 
     def test_generate_compressed(self, tmp_path):
         out = str(tmp_path / "gz")

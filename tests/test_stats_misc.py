@@ -165,6 +165,75 @@ class TestStreaming:
         with pytest.raises(ValueError):
             ReservoirSampler(0)
 
+    def test_reservoir_add_array_batching_invariant(self):
+        # Splitting a stream into different add_array batches consumes the
+        # RNG identically, so the reservoirs are bit-identical — this is
+        # what makes engine results chunk-size-invariant.
+        data = np.random.default_rng(4).normal(0, 1, 5000)
+        a = ReservoirSampler(100, np.random.default_rng(9))
+        b = ReservoirSampler(100, np.random.default_rng(9))
+        a.add_array(data)
+        b.add_array(data[:1])
+        b.add_array(data[1:17])
+        b.add_array(data[17:])
+        assert a.sample().tolist() == b.sample().tolist()
+
+    def test_reservoir_add_array_is_uniform(self):
+        # Each stream element should survive with probability capacity/n.
+        data = np.arange(2000, dtype=np.float64)
+        hits = np.zeros(2000)
+        for seed in range(200):
+            r = ReservoirSampler(50, np.random.default_rng(seed))
+            r.add_array(data)
+            hits[r.sample().astype(np.int64)] += 1
+        # Expected 200 * 50/2000 = 5 hits per element; compare the early
+        # (eagerly filled) and late halves of the stream.
+        assert hits[:1000].mean() == pytest.approx(5.0, rel=0.15)
+        assert hits[1000:].mean() == pytest.approx(5.0, rel=0.15)
+
+    def test_reservoir_add_array_exact_under_capacity(self, rng):
+        r = ReservoirSampler(100, rng)
+        r.add_array(np.arange(60, dtype=np.float64))
+        assert sorted(r.sample()) == list(map(float, range(60)))
+        assert r.n_seen == 60
+
+    def test_reservoir_merge_under_capacity_is_exact(self, rng):
+        a = ReservoirSampler(100, rng)
+        b = ReservoirSampler(100, np.random.default_rng(5))
+        a.add_array(np.arange(30, dtype=np.float64))
+        b.add_array(np.arange(30, 60, dtype=np.float64))
+        merged = a.merge(b)
+        assert sorted(merged.sample()) == list(map(float, range(60)))
+        assert merged.n_seen == 60
+
+    def test_reservoir_merge_respects_capacity_and_weights(self):
+        # Merging two over-full reservoirs keeps capacity items drawn from
+        # both sides roughly in proportion to their stream sizes.
+        a = ReservoirSampler(500, np.random.default_rng(6))
+        b = ReservoirSampler(500, np.random.default_rng(7))
+        a.add_array(np.zeros(30000))
+        b.add_array(np.ones(10000))
+        merged = a.merge(b)
+        sample = merged.sample()
+        assert len(sample) == 500
+        assert merged.n_seen == 40000
+        # ~75% of the merged stream is zeros; allow generous sampling noise.
+        assert 0.6 < np.mean(sample == 0.0) < 0.9
+
+    def test_reservoir_merge_quantiles_track_pooled_stream(self):
+        rng = np.random.default_rng(8)
+        data = rng.lognormal(0, 1, 40000)
+        a = ReservoirSampler(2000, np.random.default_rng(10))
+        b = ReservoirSampler(2000, np.random.default_rng(11))
+        a.add_array(data[:25000])
+        b.add_array(data[25000:])
+        merged = a.merge(b)
+        assert merged.percentile(50) == pytest.approx(np.percentile(data, 50), rel=0.1)
+
+    def test_reservoir_merge_rejects_capacity_mismatch(self, rng):
+        with pytest.raises(ValueError, match="capacity"):
+            ReservoirSampler(10, rng).merge(ReservoirSampler(20, rng))
+
     @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=500))
     @settings(max_examples=50, deadline=None)
     def test_property_moments_welford_stable(self, data):

@@ -16,9 +16,16 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py             # full (~1M requests)
     PYTHONPATH=src python benchmarks/bench_engine.py --smoke     # CI-sized
+    PYTHONPATH=src python benchmarks/bench_engine.py --json out.json
+
+``--json PATH`` additionally writes machine-readable records — one per
+timed configuration with ``name`` / ``n_requests`` / ``seconds`` /
+``requests_per_second`` — so benchmark runs accumulate into a perf
+trajectory that later optimization PRs can diff against.
 """
 
 import argparse
+import json
 import os
 import sys
 import tempfile
@@ -83,6 +90,15 @@ def _bench_engine(directory: str, workers: int, chunk_size: int):
     )
 
 
+def _record(name: str, n_requests: int, seconds: float) -> dict:
+    return {
+        "name": name,
+        "n_requests": n_requests,
+        "seconds": round(seconds, 6),
+        "requests_per_second": round(n_requests / seconds, 1) if seconds > 0 else None,
+    }
+
+
 def _timed(label: str, fn, *args):
     start = time.perf_counter()
     result = fn(*args)
@@ -99,6 +115,10 @@ def main(argv=None) -> int:
     parser.add_argument("--day-seconds", type=float, default=None)
     parser.add_argument("--chunk-size", type=int, default=65536)
     parser.add_argument("--workers", type=int, nargs="*", default=[1, 4])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write machine-readable timing records to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -118,12 +138,14 @@ def main(argv=None) -> int:
         print(f"fleet: {n_requests} requests in {len(os.listdir(directory))} files\n")
 
         times = {}
+        records = []
         print("timings:")
         for label, elapsed, _ in (
             _timed("row-stream (legacy)", _bench_row_stream, directory),
             _timed("columnar (legacy)", _bench_columnar, directory),
         ):
             times[label] = elapsed
+            records.append(_record(label, n_requests, elapsed))
         engine_times = {}
         for workers in args.workers:
             label = f"engine workers={workers}"
@@ -131,6 +153,7 @@ def main(argv=None) -> int:
                 label, _bench_engine, directory, workers, args.chunk_size
             )
             engine_times[workers] = elapsed
+            records.append(_record(label, n_requests, elapsed))
             assert result.n_volumes == n_volumes
 
         print("\nspeedups vs row-stream (legacy):")
@@ -143,6 +166,21 @@ def main(argv=None) -> int:
                 f"\nengine workers=1 vs columnar (legacy): "
                 f"{columnar / engine_times[1]:5.2f}x"
             )
+
+        if args.json:
+            payload = {
+                "benchmark": "bench_engine",
+                "n_volumes": n_volumes,
+                "n_days": n_days,
+                "day_seconds": day_seconds,
+                "chunk_size": args.chunk_size,
+                "n_requests": n_requests,
+                "results": records,
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"\nwrote {len(records)} timing records to {args.json}")
     return 0
 
 

@@ -13,6 +13,8 @@ from typing import Callable, Type
 
 import numpy as np
 
+from ..obs import metrics
+from ..obs.tracing import span
 from ..trace.blocks import block_events
 from ..trace.dataset import VolumeTrace
 from ..trace.record import DEFAULT_BLOCK_SIZE
@@ -65,21 +67,37 @@ class CacheSimResult:
 def simulate_stream(
     blocks: np.ndarray, is_write: np.ndarray, policy: CachePolicy
 ) -> CacheSimResult:
-    """Run a (block id, op) access stream through a policy instance."""
+    """Run a (block id, op) access stream through a policy instance.
+
+    Hit/miss/eviction totals accumulate into the current metrics registry
+    (``cache.hits`` / ``cache.misses`` / ``cache.evictions``).  Evictions
+    are inferred as misses minus cache growth — exact for admit-on-miss
+    policies, an upper bound when an admission filter rejects blocks.
+    """
     read_hits = read_misses = write_hits = write_misses = 0
+    resident_before = len(policy)
     access = policy.access
-    for block, w in zip(blocks.tolist(), is_write.tolist()):
-        hit = access(block, w)
-        if w:
-            if hit:
-                write_hits += 1
+    with span("cache_simulate"):
+        for block, w in zip(blocks.tolist(), is_write.tolist()):
+            hit = access(block, w)
+            if w:
+                if hit:
+                    write_hits += 1
+                else:
+                    write_misses += 1
             else:
-                write_misses += 1
-        else:
-            if hit:
-                read_hits += 1
-            else:
-                read_misses += 1
+                if hit:
+                    read_hits += 1
+                else:
+                    read_misses += 1
+    reg = metrics.get_registry()
+    misses = read_misses + write_misses
+    reg.counter("cache.accesses").inc(len(blocks))
+    reg.counter("cache.hits").inc(read_hits + write_hits)
+    reg.counter("cache.misses").inc(misses)
+    reg.counter("cache.evictions").inc(
+        max(0, misses - (len(policy) - resident_before))
+    )
     return CacheSimResult(
         policy=policy.name,
         capacity_blocks=policy.capacity,

@@ -6,6 +6,12 @@ Subcommands:
 * ``repro analyze`` — per-volume profiles of a trace directory (JSON).
 * ``repro report`` — fleet-level summary tables for one dataset.
 * ``repro findings`` — evaluate the paper's 15 findings on two fleets.
+
+Observability (see :mod:`repro.obs`): command *results* go to stdout,
+every status line goes through the structured logger on stderr
+(``--log-level`` / ``--log-json``), and engine-backed subcommands accept
+``--metrics-out PATH`` (JSON metrics report, span timings included) and
+``--progress`` (per-unit completion events as workers finish).
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import argparse
 import json
 import math
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -27,14 +33,24 @@ from .core import (
 )
 from .engine import DEFAULT_CHUNK_SIZE, read_dataset_dir_chunked
 from .engine.runner import parallel_map
+from .obs import (
+    collecting,
+    configure_logging,
+    get_logger,
+    metrics,
+    metrics_report,
+    traced,
+)
 from .synth import alicloud_scale, make_alicloud_fleet, make_msrc_fleet, msrc_scale
 from .trace import TraceDataset, read_dataset_dir, write_dataset_dir
 
 __all__ = ["main", "build_parser"]
 
+_log = get_logger("repro.cli")
+
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
-    """The shared execution-engine knobs (see repro.engine)."""
+    """The shared execution-engine knobs (see repro.engine / repro.obs)."""
     parser.add_argument(
         "--workers", type=int, default=1,
         help="process-pool width for per-file/per-volume fan-out (default: 1, sequential)",
@@ -42,6 +58,14 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
         help=f"trace rows parsed per columnar batch (default: {DEFAULT_CHUNK_SIZE})",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a JSON metrics report of this run (enables span tracing)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="log per-unit completion on stderr as workers finish",
     )
 
 
@@ -52,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="info",
+        help="stderr log verbosity (default: info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON log lines instead of plain text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -138,9 +170,11 @@ def _generate(args: argparse.Namespace) -> int:
         dataset = make_msrc_fleet(n_volumes=args.volumes or 36, seed=args.seed, scale=scale)
         fmt = "msrc"
     write_dataset_dir(dataset, args.output_dir, fmt=fmt, compress=args.compress)
-    print(
-        f"wrote {dataset.n_volumes} volumes, {dataset.n_requests} requests "
-        f"to {args.output_dir}"
+    _log.info(
+        "fleet_written",
+        volumes=dataset.n_volumes,
+        requests=dataset.n_requests,
+        path=args.output_dir,
     )
     return 0
 
@@ -161,18 +195,33 @@ def _json_safe(value):
 
 def _profile_volume(trace, block_size: int):
     """Module-level so :func:`repro.engine.runner.parallel_map` can pickle it."""
+    metrics.counter("analyze.requests").inc(len(trace))
     return compute_profile(trace, block_size=block_size).to_dict()
+
+
+def _progress_callback(args: argparse.Namespace, stage: str) -> Optional[Callable[[int, int], None]]:
+    """A per-unit completion logger for ``--progress``, else None."""
+    if not getattr(args, "progress", False):
+        return None
+    log = get_logger("repro.progress")
+
+    def callback(done: int, total: int) -> None:
+        log.info("units_done", stage=stage, done=done, total=total)
+
+    return callback
 
 
 def _analyze(args: argparse.Namespace) -> int:
     dataset = read_dataset_dir_chunked(
         args.trace_dir, fmt=args.format,
         chunk_size=args.chunk_size, workers=args.workers,
+        progress=_progress_callback(args, "parse"),
     )
     profiles = [
         _json_safe(d)
         for d in parallel_map(
             _profile_volume, dataset.volumes(), args.workers,
+            progress=_progress_callback(args, "profile"),
             block_size=args.block_size,
         )
     ]
@@ -182,7 +231,7 @@ def _analyze(args: argparse.Namespace) -> int:
     else:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(payload)
-        print(f"wrote {len(profiles)} profiles to {args.output}")
+        _log.info("profiles_written", count=len(profiles), path=args.output)
     return 0
 
 
@@ -190,6 +239,7 @@ def _report(args: argparse.Namespace) -> int:
     dataset = read_dataset_dir_chunked(
         args.trace_dir, fmt=args.format,
         chunk_size=args.chunk_size, workers=args.workers,
+        progress=_progress_callback(args, "parse"),
     )
     stats = basic_statistics(dataset, block_size=args.block_size, workers=args.workers)
     rows = [
@@ -216,6 +266,7 @@ def _findings(args: argparse.Namespace) -> int:
         ali = read_dataset_dir_chunked(
             args.ali_dir, fmt="alicloud",
             chunk_size=args.chunk_size, workers=args.workers,
+            progress=_progress_callback(args, "parse-ali"),
         )
     else:
         ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
@@ -223,6 +274,7 @@ def _findings(args: argparse.Namespace) -> int:
         msrc = read_dataset_dir_chunked(
             args.msrc_dir, fmt="msrc",
             chunk_size=args.chunk_size, workers=args.workers,
+            progress=_progress_callback(args, "parse-msrc"),
         )
     else:
         msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
@@ -277,6 +329,7 @@ def _stream_analyze(args: argparse.Namespace) -> int:
         fmt=args.format,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        progress=_progress_callback(args, "fold"),
     )
     profiles = result.analyzer("streaming_profile")
     payload = json.dumps(
@@ -312,7 +365,7 @@ def _stream_analyze(args: argparse.Namespace) -> int:
     else:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(payload)
-        print(f"wrote {len(profiles)} streaming profiles to {args.output}")
+        _log.info("streaming_profiles_written", count=len(profiles), path=args.output)
     return 0
 
 
@@ -333,8 +386,16 @@ def _validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _write_metrics(path: str, registry) -> None:
+    payload = json.dumps(_json_safe(metrics_report(registry)), indent=2, sort_keys=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload + "\n")
+    _log.info("metrics_written", path=path)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     handlers = {
         "generate": _generate,
         "analyze": _analyze,
@@ -344,7 +405,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stream-analyze": _stream_analyze,
         "validate": _validate,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is None:
+        return handler(args)
+    # A fresh per-run registry (so repeated runs in one process don't mix)
+    # with span tracing on, written out even when the command fails.
+    with collecting() as registry, traced(True):
+        try:
+            return handler(args)
+        finally:
+            _write_metrics(metrics_out, registry)
 
 
 if __name__ == "__main__":

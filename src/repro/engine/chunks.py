@@ -26,6 +26,8 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 import numpy as np
 
+from ..obs import metrics
+from ..obs.tracing import span
 from ..trace.dataset import TraceDataset, VolumeTrace
 from ..trace.reader import (
     TraceFormatError,
@@ -289,12 +291,23 @@ def iter_chunks(
         raise ValueError(
             f"unknown trace format: {fmt!r} (expected 'alicloud' or 'msrc')"
         ) from None
+    reg = metrics.get_registry()
+    lines_total = reg.counter("parse.lines")
+    bytes_total = reg.counter("parse.bytes")
+    chunks_total = reg.counter("parse.chunks")
     for lines, linenos in _iter_line_batches(path, chunk_size, skip_header):
-        try:
-            columns = batch_parse(lines)
-        except _BadBatch:
-            columns = _parse_batch_fallback(lines, linenos, row_parse)
-        yield from _split_by_volume(columns)
+        lines_total.inc(len(lines))
+        bytes_total.inc(sum(map(len, lines)))
+        with span("parse_batch"):
+            try:
+                columns = batch_parse(lines)
+            except _BadBatch:
+                reg.counter("parse.fallback_batches").inc()
+                reg.counter("parse.fallback_lines").inc(len(lines))
+                columns = _parse_batch_fallback(lines, linenos, row_parse)
+        for chunk in _split_by_volume(columns):
+            chunks_total.inc()
+            yield chunk
 
 
 def chunks_from_trace(
@@ -356,6 +369,7 @@ def read_dataset_dir_chunked(
     name: Optional[str] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> TraceDataset:
     """Chunked-parse replacement for :func:`repro.trace.reader.read_dataset_dir`.
 
@@ -363,23 +377,23 @@ def read_dataset_dir_chunked(
     volumes, same arrays) but parses each file in columnar batches and can
     fan files out across ``workers`` processes.  Results are deterministic:
     files are always merged in sorted-path order regardless of worker
-    completion order.
+    completion order.  Parse metrics (lines, bytes, chunks) land in the
+    caller's current registry at any worker count, and
+    ``progress(done, total)`` fires per completed file.
     """
     import os
 
-    files = list_trace_files(directory)
-    if workers > 1 and len(files) > 1:
-        from .runner import parallel_map
+    from .runner import parallel_map
 
-        per_file = parallel_map(
-            _read_file_columns,
-            files,
-            workers,
-            fmt=fmt,
-            chunk_size=chunk_size,
-        )
-    else:
-        per_file = [_read_file_columns(p, fmt, chunk_size) for p in files]
+    files = list_trace_files(directory)
+    per_file = parallel_map(
+        _read_file_columns,
+        files,
+        workers,
+        progress=progress,
+        fmt=fmt,
+        chunk_size=chunk_size,
+    )
 
     merged: Dict[str, _VolumeColumns] = {}
     for acc in per_file:

@@ -15,16 +15,29 @@ With ``workers > 1`` units fan out across a
 states come back and are merged **in sorted unit order** (never completion
 order), so results are bit-identical across worker counts.  ``workers=1``
 falls back to a plain sequential loop with no pool or pickling overhead.
+
+Every fan-out is observable (:mod:`repro.obs`): each worker unit runs
+inside its own metrics registry and ships a snapshot back alongside its
+result; :func:`parallel_map` merges snapshots into the caller's registry
+in submission order, so counter totals are identical at any worker count.
+Per-unit wall times land in the ``engine.unit_seconds`` histogram, and
+each fan-out sets ``engine.wall_seconds`` / ``engine.utilization``
+(busy-time over ``workers x wall``) gauges.  A ``progress`` callback
+reports units as they *complete* (pool completion order) without
+affecting merge order.
 """
 
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from ..obs import metrics
+from ..obs.tracing import span
 from ..trace.dataset import TraceDataset, VolumeTrace
 from .analyzer import Analyzer
 from .chunks import (
@@ -44,10 +57,31 @@ R = TypeVar("R")
 _StateMap = Dict[int, Dict[str, Any]]
 
 
+def _instrumented_unit(bound: Callable[[T], R], item: T) -> Tuple[R, Dict[str, Any]]:
+    """Run one unit in its own registry; return ``(result, snapshot)``.
+
+    The fresh registry means fork-inherited parent metrics never leak
+    into a worker's snapshot.
+    """
+    with metrics.collecting() as reg:
+        start = perf_counter()
+        out = bound(item)
+        reg.histogram("engine.unit_seconds").observe(perf_counter() - start)
+    return out, reg.snapshot()
+
+
+def _record_fanout(reg: metrics.MetricsRegistry, busy: float, wall: float, workers: int) -> None:
+    reg.counter("engine.fanouts").inc()
+    reg.gauge("engine.wall_seconds").set(wall)
+    if wall > 0 and workers > 0:
+        reg.gauge("engine.utilization").set(busy / (workers * wall))
+
+
 def parallel_map(
     fn: Callable[..., R],
     items: Iterable[T],
     workers: int,
+    progress: Optional[Callable[[int, int], None]] = None,
     **kwargs: Any,
 ) -> List[R]:
     """Map ``fn`` over ``items``, preserving order.
@@ -55,13 +89,52 @@ def parallel_map(
     ``workers <= 1`` runs sequentially in-process; otherwise items fan out
     across a process pool (``fn`` must be picklable, i.e. module-level).
     Keyword arguments are bound with :func:`functools.partial`.
+
+    Each unit's metrics are collected in the worker and merged into the
+    caller's current registry in submission order — totals are identical
+    at any worker count.  ``progress(done, total)`` (when given) fires as
+    units complete; under a pool that is completion order, while results
+    and metric merges keep submission order.
     """
     bound = partial(fn, **kwargs) if kwargs else fn
     items = list(items)
-    if workers <= 1 or len(items) <= 1:
-        return [bound(item) for item in items]
+    reg = metrics.get_registry()
+    total = len(items)
+    start = perf_counter()
+    if workers <= 1 or total <= 1:
+        unit_seconds = reg.histogram("engine.unit_seconds")
+        results: List[R] = []
+        busy = 0.0
+        for done, item in enumerate(items, start=1):
+            t0 = perf_counter()
+            results.append(bound(item))
+            elapsed = perf_counter() - t0
+            busy += elapsed
+            unit_seconds.observe(elapsed)
+            if progress is not None:
+                progress(done, total)
+        _record_fanout(reg, busy, perf_counter() - start, 1)
+        return results
+    wrapped = partial(_instrumented_unit, bound)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(bound, items))
+        futures = [pool.submit(wrapped, item) for item in items]
+        if progress is not None:
+            pending = set(futures)
+            done = 0
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done += len(finished)
+                progress(done, total)
+        outs = [f.result() for f in futures]
+    wall = perf_counter() - start
+    results = []
+    busy = 0.0
+    for out, snap in outs:
+        busy += snap["histograms"].get("engine.unit_seconds", {}).get("sum", 0.0)
+        reg.merge_snapshot(snap)
+        results.append(out)
+    _record_fanout(reg, busy, wall, workers)
+    return results
 
 
 @dataclass
@@ -99,14 +172,21 @@ class EngineResult:
 def _fold_chunks(analyzers: Sequence[Analyzer], chunks: Iterable[Chunk]) -> _StateMap:
     """Fold a chunk stream through every analyzer (shared single pass)."""
     states: _StateMap = {i: {} for i in range(len(analyzers))}
+    reg = metrics.get_registry()
+    requests_total = reg.counter("engine.requests")
+    chunks_total = reg.counter("engine.chunks")
+    span_names = [f"consume.{a.name}" for a in analyzers]
     for chunk in chunks:
+        requests_total.inc(len(chunk))
+        chunks_total.inc()
         vid = chunk.volume_id
         for i, analyzer in enumerate(analyzers):
             per_vol = states[i]
             state = per_vol.get(vid)
             if state is None:
                 state = analyzer.init_state(vid)
-            per_vol[vid] = analyzer.consume(state, chunk)
+            with span(span_names[i]):
+                per_vol[vid] = analyzer.consume(state, chunk)
     return states
 
 
@@ -129,12 +209,16 @@ def _merge_states(
 ) -> _StateMap:
     """Merge per-unit partial states in the given (deterministic) order."""
     merged: _StateMap = {i: {} for i in range(len(analyzers))}
+    start = perf_counter()
+    span_names = [f"merge.{a.name}" for a in analyzers]
     for states in partials:
         for i, analyzer in enumerate(analyzers):
             into = merged[i]
-            for vid, state in states[i].items():
-                prior = into.get(vid)
-                into[vid] = state if prior is None else analyzer.merge(prior, state)
+            with span(span_names[i]):
+                for vid, state in states[i].items():
+                    prior = into.get(vid)
+                    into[vid] = state if prior is None else analyzer.merge(prior, state)
+    metrics.gauge("engine.merge_seconds").set(perf_counter() - start)
     return merged
 
 
@@ -170,6 +254,7 @@ def run_files(
     fmt: str = "alicloud",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> EngineResult:
     """Run analyzers over trace files, one parse per file.
 
@@ -177,13 +262,15 @@ def run_files(
     ``workers > 1``) and their per-volume partial states merged in the
     order of ``paths`` — callers must pass files in time order when a
     volume spans several files (sorted directory listings satisfy this for
-    the repo's writers).
+    the repo's writers).  ``progress(done, total)`` fires per completed
+    unit (see :func:`parallel_map`).
     """
     paths = list(paths)
     partials = parallel_map(
         _fold_file,
         paths,
         workers,
+        progress=progress,
         analyzers=list(analyzers),
         fmt=fmt,
         chunk_size=chunk_size,
@@ -197,6 +284,7 @@ def run_dataset(
     analyzers: Sequence[Analyzer],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> EngineResult:
     """Run analyzers over an in-memory dataset, one volume per unit."""
     volumes = [v for _, v in sorted(dataset.items()) if len(v)]
@@ -204,6 +292,7 @@ def run_dataset(
         _fold_volume,
         volumes,
         workers,
+        progress=progress,
         analyzers=list(analyzers),
         chunk_size=chunk_size,
     )
@@ -217,6 +306,7 @@ def run(
     fmt: str = "alicloud",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> EngineResult:
     """Run analyzers over a trace directory, file list, or dataset.
 
@@ -228,11 +318,14 @@ def run(
         fmt: trace file format for path sources.
         chunk_size: rows per parsed batch.
         workers: process-pool width; ``1`` runs sequentially.
+        progress: optional ``(done, total)`` per-unit completion callback.
     """
     if isinstance(source, TraceDataset):
-        return run_dataset(source, analyzers, chunk_size=chunk_size, workers=workers)
-    if isinstance(source, str):
-        return run_files(
-            list_trace_files(source), analyzers, fmt=fmt, chunk_size=chunk_size, workers=workers
+        return run_dataset(
+            source, analyzers, chunk_size=chunk_size, workers=workers, progress=progress
         )
-    return run_files(source, analyzers, fmt=fmt, chunk_size=chunk_size, workers=workers)
+    if isinstance(source, str):
+        source = list_trace_files(source)
+    return run_files(
+        source, analyzers, fmt=fmt, chunk_size=chunk_size, workers=workers, progress=progress
+    )

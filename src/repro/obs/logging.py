@@ -1,0 +1,148 @@
+"""Structured logging: one configuration point, plain or JSON lines.
+
+Built on the stdlib :mod:`logging` tree under the ``"repro"`` root so
+third-party handlers/filters compose normally.  :func:`configure_logging`
+is called once (the CLI does it from ``--log-level``/``--log-json``);
+library code gets a :class:`StructuredLogger` from :func:`get_logger` and
+emits *events with fields* rather than formatted strings::
+
+    log = get_logger("repro.engine")
+    log.info("unit_done", unit=3, total=16, seconds=0.41)
+
+Plain mode renders ``HH:MM:SS info repro.engine: unit_done unit=3 ...``;
+JSON mode renders one JSON object per line with ``ts``/``level``/
+``logger``/``event`` plus the fields — machine-parseable end to end.
+Both go to stderr by default so command output on stdout stays clean.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, IO, Optional
+
+__all__ = ["configure_logging", "get_logger", "StructuredLogger"]
+
+_ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class _PlainFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        line = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname.lower():<7} {record.name}: {record.getMessage()}"
+        )
+        fields = getattr(record, "fields", None)
+        if fields:
+            line += " " + " ".join(f"{k}={v}" for k, v in fields.items())
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> None:
+    """(Re)configure the ``repro`` logger tree.
+
+    Idempotent: prior handlers installed here are replaced, so repeated
+    calls (tests, embedded use) never double-log.
+
+    Args:
+        level: ``debug`` / ``info`` / ``warning`` / ``error``.
+        json_lines: emit one JSON object per line instead of plain text.
+        stream: destination (default ``sys.stderr``, resolved at emit time
+            so pytest's capture sees it).
+    """
+    try:
+        resolved = _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level: {level!r} (expected one of {sorted(_LEVELS)})"
+        ) from None
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream) if stream is not None else _StderrHandler()
+    handler.setFormatter(_JsonFormatter() if json_lines else _PlainFormatter())
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    root.propagate = False
+
+
+class _StderrHandler(logging.StreamHandler):
+    """StreamHandler that looks up ``sys.stderr`` per record (capture-safe)."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self) -> IO[str]:  # type: ignore[override]
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value: IO[str]) -> None:
+        pass  # always resolve dynamically
+
+
+class StructuredLogger:
+    """Event-plus-fields facade over one stdlib logger."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"fields": fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str = _ROOT) -> StructuredLogger:
+    """A :class:`StructuredLogger` under the ``repro`` tree.
+
+    Names outside the tree are nested beneath it (``"synth"`` →
+    ``"repro.synth"``) so one configuration point governs everything.
+    """
+    if name != _ROOT and not name.startswith(_ROOT + "."):
+        name = f"{_ROOT}.{name}"
+    return StructuredLogger(logging.getLogger(name))

@@ -1,0 +1,258 @@
+"""Mergeable metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is the engine-style accumulation state of the
+observability layer: each worker process collects into its own registry
+(:func:`collecting`), ships a plain-dict :meth:`~MetricsRegistry.snapshot`
+back with its unit result, and the parent folds snapshots in with
+:meth:`~MetricsRegistry.merge_snapshot` in deterministic (sorted-unit)
+order — exactly how analyzer states travel through
+:mod:`repro.engine.runner`.  Counter and histogram merges are commutative
+sums, so totals are identical across worker counts; gauges keep the last
+merged value (merge order is deterministic, so this is too).
+
+Instrumented code records into the *current* registry
+(:func:`get_registry`), a module-level stack so :func:`collecting` can
+temporarily redirect collection without threading a registry through
+every call site:
+
+    counter("parse.lines").inc(n)
+    histogram("engine.unit_seconds").observe(elapsed)
+
+Histograms bucket observations by power of two (``frexp`` exponent): wide
+enough to need no configuration, precise enough to tell a 2 ms chunk from
+a 200 ms one, and mergeable by plain addition.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "collecting",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_report",
+]
+
+#: Bucket key for non-positive observations (durations should be >= 0,
+#: but clock adjustments can produce tiny negatives; don't lose them).
+_UNDERFLOW_BUCKET = -1_000_000
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time float; merges keep the last merged value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Power-of-two bucketed distribution with exact count/sum/min/max.
+
+    Buckets are keyed by the ``math.frexp`` exponent ``e`` of the
+    observation, i.e. bucket ``e`` covers ``[2**(e-1), 2**e)``.  Two
+    histograms merge by adding bucket counts and sums — the same
+    mergeable-state shape the engine's analyzers use.
+    """
+
+    __slots__ = ("buckets", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        key = math.frexp(value)[1] if value > 0.0 else _UNDERFLOW_BUCKET
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum:g})"
+
+
+def _bucket_label(key: int) -> str:
+    if key == _UNDERFLOW_BUCKET:
+        return "(-inf,0]"
+    return f"[{2.0 ** (key - 1):g},{2.0 ** key:g})"
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with mergeable snapshots."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- snapshot / merge (the worker-to-parent wire format) ---------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable plain-dict copy of every metric's state."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "buckets": dict(h.buckets),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold one worker snapshot in (counters/histograms add, gauges
+        take the incoming value)."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, state in snap.get("histograms", {}).items():
+            h = self.histogram(name)
+            for key, n in state["buckets"].items():
+                h.buckets[key] = h.buckets.get(key, 0) + n
+            h.count += state["count"]
+            h.sum += state["sum"]
+            h.min = min(h.min, state["min"])
+            h.max = max(h.max, state["max"])
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-ready view: sorted names, labeled histogram buckets."""
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean if h.count else None,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "buckets": {
+                        _bucket_label(k): h.buckets[k] for k in sorted(h.buckets)
+                    },
+                }
+                for n, h in ((n, self._histograms[n]) for n in sorted(self._histograms))
+            },
+        }
+
+
+#: Current-registry stack; index 0 is the process-wide default registry.
+_STACK: List[MetricsRegistry] = [MetricsRegistry()]
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented code currently records into."""
+    return _STACK[-1]
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Redirect collection to a fresh (or given) registry within the block.
+
+    Worker processes wrap each unit of work in ``collecting()`` so their
+    snapshots contain only that unit's metrics — even under ``fork`` start
+    methods where the parent's accumulated state is inherited.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    _STACK.append(registry)
+    try:
+        yield registry
+    finally:
+        _STACK.pop()
+
+
+def counter(name: str) -> Counter:
+    """``get_registry().counter(name)`` shorthand."""
+    return get_registry().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """``get_registry().gauge(name)`` shorthand."""
+    return get_registry().gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """``get_registry().histogram(name)`` shorthand."""
+    return get_registry().histogram(name)
+
+
+def metrics_report(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """JSON-ready report of ``registry`` (default: the current one)."""
+    return (registry if registry is not None else get_registry()).report()

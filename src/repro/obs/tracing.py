@@ -1,0 +1,114 @@
+"""Span-based stage tracing with a disabled no-op fast path.
+
+Usage::
+
+    from repro.obs.tracing import span
+
+    with span("parse_batch"):
+        columns = batch_parse(lines)
+
+When tracing is disabled (the default) :func:`span` returns one shared
+no-op context manager — no allocation, no clock reads, no registry
+lookups — so instrumentation can stay on hot paths permanently.  When
+enabled (:func:`enable`, or the CLI's ``--metrics-out``), each span
+records its wall time into the current metrics registry as the histogram
+``span.<name>.seconds`` (whose ``count`` is the number of entries).
+
+The enabled flag is a module global: worker processes started with the
+``fork`` method inherit it, so spans inside process-pool units land in the
+per-worker registries that :func:`repro.engine.runner.parallel_map` ships
+back.  Under ``spawn`` start methods workers come up with tracing
+disabled (their counters still flow; only span timings are absent).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Iterator
+
+from . import metrics
+
+__all__ = ["span", "enable", "disable", "enabled", "traced"]
+
+_enabled = False
+
+
+class _NullSpan:
+    """Shared do-nothing span used whenever tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        elapsed = perf_counter() - self._start
+        metrics.histogram(f"span.{self.name}.seconds").observe(elapsed)
+        return False
+
+
+def span(name: str):
+    """A context manager timing ``name``; a shared no-op when disabled."""
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(name)
+
+
+def enable() -> None:
+    """Turn span timing on (records into the current metrics registry)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn span timing off (:func:`span` returns the shared no-op)."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+class _Traced:
+    """Context manager form of enable/disable that restores the prior state."""
+
+    __slots__ = ("on", "_prev")
+
+    def __init__(self, on: bool) -> None:
+        self.on = on
+        self._prev = False
+
+    def __enter__(self) -> "_Traced":
+        global _enabled
+        self._prev = _enabled
+        _enabled = self.on
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        global _enabled
+        _enabled = self._prev
+        return False
+
+
+def traced(on: bool = True) -> _Traced:
+    """``with traced(): ...`` — scoped enable (or disable) of span timing."""
+    return _Traced(on)

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics
+from ..obs.logging import get_logger
+from ..obs.tracing import span
 from ..trace.dataset import TraceDataset
 from .archetypes import Scale
 from .rng import spawn_rngs
@@ -87,6 +91,10 @@ def build_fleet(
     n_short = int(round(spec.short_lived_fraction * total))
     short_ids = set(assign_rng.choice(total, size=n_short, replace=False).tolist())
 
+    reg = metrics.get_registry()
+    volumes_total = reg.counter("synth.volumes")
+    requests_total = reg.counter("synth.requests")
+    start = perf_counter()
     dataset = TraceDataset(spec.name)
     for idx in range(total):
         factory = factories[order[idx]]
@@ -99,5 +107,20 @@ def build_fleet(
                 day * spec.scale.day_seconds,
                 (day + 1) * spec.scale.day_seconds,
             )
-        dataset.add(generate_volume(vspec, rng, t0, t1))
+        with span("generate_volume"):
+            trace = generate_volume(vspec, rng, t0, t1)
+        dataset.add(trace)
+        volumes_total.inc()
+        requests_total.inc(len(trace))
+    elapsed = perf_counter() - start
+    reg.gauge("synth.seconds").set(elapsed)
+    if elapsed > 0:
+        reg.gauge("synth.requests_per_second").set(dataset.n_requests / elapsed)
+    get_logger("repro.synth").debug(
+        "fleet_built",
+        fleet=spec.name,
+        volumes=dataset.n_volumes,
+        requests=dataset.n_requests,
+        seconds=round(elapsed, 3),
+    )
     return dataset

@@ -1,0 +1,171 @@
+"""Tests for repro.obs.metrics: primitives, snapshots, merge semantics."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    counter,
+    get_registry,
+    metrics_report,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(2.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_histogram_stats(self):
+        h = Histogram()
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(8.5)
+        assert h.min == 0.5
+        assert h.max == 3.5
+        assert h.mean == pytest.approx(8.5 / 4)
+
+    def test_histogram_power_of_two_buckets(self):
+        h = Histogram()
+        h.observe(1.5)  # [1, 2)
+        h.observe(1.0)  # [1, 2)
+        h.observe(2.0)  # [2, 4)
+        h.observe(0.75)  # [0.5, 1)
+        assert sorted(h.buckets.values()) == [1, 1, 2]
+
+    def test_histogram_non_positive_goes_to_underflow(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-1.0)
+        assert h.count == 2
+        assert len(h.buckets) == 1
+        assert h.min == -1.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_snapshot_is_plain_and_picklable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 0.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.snapshot()
+        reg.counter("c").inc()
+        assert snap["counters"]["c"] == 1
+
+    def test_merge_snapshot_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(5)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(1.5)
+        b.histogram("h").observe(100.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("c").value == 7
+        h = a.histogram("h")
+        assert h.count == 3
+        assert h.sum == pytest.approx(102.5)
+        assert h.min == 1.0
+        assert h.max == 100.0
+
+    def test_merge_is_commutative_for_totals(self):
+        snaps = []
+        for vals in ((1.0, 2.0), (3.0,), (0.25, 8.0, 9.0)):
+            reg = MetricsRegistry()
+            for v in vals:
+                reg.counter("n").inc()
+                reg.histogram("h").observe(v)
+            snaps.append(reg.snapshot())
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for s in snaps:
+            fwd.merge_snapshot(s)
+        for s in reversed(snaps):
+            rev.merge_snapshot(s)
+        assert fwd.snapshot() == rev.snapshot()
+
+    def test_merge_gauge_takes_incoming(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.gauge("g").value == 2.0
+
+    def test_report_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        reg.histogram("h").observe(1.5)
+        report = reg.report()
+        assert list(report["counters"]) == ["a", "z"]
+        h = report["histograms"]["h"]
+        assert h["count"] == 1
+        assert h["buckets"] == {"[1,2)": 1}
+
+    def test_empty_histogram_report_has_null_stats(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        h = reg.report()["histograms"]["h"]
+        assert h["count"] == 0
+        assert h["mean"] is None and h["min"] is None and h["max"] is None
+
+
+class TestCollecting:
+    def test_collecting_redirects_and_restores(self):
+        outer = get_registry()
+        before = outer.counter("test.outer").value
+        with collecting() as reg:
+            counter("test.inner").inc(5)
+            assert get_registry() is reg
+        assert get_registry() is outer
+        assert reg.counter("test.inner").value == 5
+        assert outer.counter("test.outer").value == before
+
+    def test_collecting_nests(self):
+        with collecting() as a:
+            counter("x").inc()
+            with collecting() as b:
+                counter("x").inc(10)
+            counter("x").inc()
+        assert a.counter("x").value == 2
+        assert b.counter("x").value == 10
+
+    def test_collecting_pops_on_exception(self):
+        outer = get_registry()
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert get_registry() is outer
+
+    def test_metrics_report_uses_current_registry(self):
+        with collecting():
+            counter("only.here").inc()
+            assert metrics_report()["counters"] == {"only.here": 1}

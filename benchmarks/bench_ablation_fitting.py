@@ -8,7 +8,6 @@ candidates dominate the exponential everywhere, confirming the bursty
 arrival structure behind Finding 4.
 """
 
-import numpy as np
 
 from repro.core import format_table, interarrival_times
 from repro.stats import fit_distributions

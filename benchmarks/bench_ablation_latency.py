@@ -8,7 +8,6 @@ counterpart: queue the fleet at 8 devices under each placement policy and
 measure the p50/p99 response times of the worst device.
 """
 
-import numpy as np
 
 from repro.cluster import (
     DeviceServiceModel,

@@ -30,8 +30,6 @@ def test_ablation_sampling_accuracy(benchmark, ali):
             for k in KS:
                 sampled = select_representatives(vol, interval, k=k, seed=11)
                 est_count = sampled.estimate_total_requests()
-                reqs = sum(len(seg) for seg in sampled.intervals)
-                writes = sum(seg.n_writes for seg in sampled.intervals)
                 weighted_writes = sum(
                     w * seg.n_writes for w, seg in zip(sampled.weights, sampled.intervals)
                 )

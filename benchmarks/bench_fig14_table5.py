@@ -11,7 +11,7 @@ import numpy as np
 from repro.core import dataset_adjacent_access_times, format_duration, format_table
 from repro.stats import EmpiricalCDF
 
-from conftest import ALI_SCALE, run_once
+from conftest import run_once
 
 
 def test_fig14_table5_raw_waw(benchmark, ali, msrc):

@@ -17,7 +17,7 @@ from repro.core import (
 )
 from repro.stats import percentile_groups
 
-from conftest import ALI_SCALE, MSRC_SCALE, run_once
+from conftest import MSRC_SCALE, run_once
 
 PERCENTILES = (25, 50, 75, 90, 95)
 

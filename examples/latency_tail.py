@@ -12,7 +12,6 @@ explode as load concentrates.
 Run:  python examples/latency_tail.py
 """
 
-import numpy as np
 
 from repro.cluster import (
     DeviceServiceModel,

@@ -22,6 +22,15 @@ Quickstart::
 """
 
 from . import cache, cluster, core, engine, stats, synth, trace
+from .core import (
+    BasicStatistics,
+    Finding,
+    VolumeProfile,
+    basic_statistics,
+    compute_profile,
+    evaluate_findings,
+)
+from .synth import Scale, make_alicloud_fleet, make_msrc_fleet
 from .trace import (
     DEFAULT_BLOCK_SIZE,
     IORequest,
@@ -32,15 +41,6 @@ from .trace import (
     read_msrc,
     write_alicloud,
     write_msrc,
-)
-from .synth import Scale, make_alicloud_fleet, make_msrc_fleet
-from .core import (
-    BasicStatistics,
-    Finding,
-    VolumeProfile,
-    basic_statistics,
-    compute_profile,
-    evaluate_findings,
 )
 
 __version__ = "1.0.0"

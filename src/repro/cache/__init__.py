@@ -1,18 +1,18 @@
 """Block cache simulation: policies, trace-driven simulator, MRC tools."""
 
+from .admission import BlockTypeTracker, TypeAwareAdmissionCache
+from .arc import ARCCache
 from .base import CachePolicy
-from .lru import LRUCache
+from .clock import ClockCache
 from .fifo import FIFOCache
 from .lfu import LFUCache
-from .clock import ClockCache
-from .arc import ARCCache
-from .twoq import TwoQCache
-from .simulator import CacheSimResult, simulate_stream, simulate_trace
-from .reuse import INFINITE_DISTANCE, reuse_distances
+from .lru import LRUCache
 from .mrc import MissRatioCurve, mrc_from_distances, mrc_from_stream
+from .reuse import INFINITE_DISTANCE, reuse_distances
 from .shards import shards_mrc, shards_sample_mask
+from .simulator import CacheSimResult, simulate_stream, simulate_trace
+from .twoq import TwoQCache
 from .writeback import WriteBackCache, WriteBackStats, simulate_writeback
-from .admission import BlockTypeTracker, TypeAwareAdmissionCache
 
 #: Registry of available policy classes by name.
 POLICIES = {

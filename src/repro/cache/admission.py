@@ -12,7 +12,6 @@ from blocks whose traffic it cannot serve.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
 
 from .base import CachePolicy

@@ -9,7 +9,7 @@ separately for reads and writes, matching the paper's Finding 15 setup
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Type
+from typing import Callable
 
 import numpy as np
 

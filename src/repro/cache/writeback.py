@@ -17,7 +17,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..trace.blocks import block_events
 from ..trace.dataset import VolumeTrace

@@ -1,0 +1,58 @@
+"""repro.checks — AST-based invariant linter for the analysis pipeline.
+
+The engine's reproducibility contract (bit-identical results at any
+``--workers`` value) rests on three properties the runtime tests can only
+spot-check: **determinism** (no hidden entropy or wall-clock reads in
+pure paths), **mergeability** (ordered, hash-independent merge folds),
+and **picklability** (state that survives the process pool).  This
+package enforces them statically, on every file, at lint time.
+
+Rule pack:
+
+========  ==============================================================
+RC001     no unseeded / global-state randomness
+RC002     no wall-clock reads in pure analysis paths (obs allowlisted)
+RC003     no unordered (set/frozenset) iteration in merge paths
+RC004     no unpicklables (lambdas, locks, handles) on pool-crossing state
+RC005     no silently swallowed exceptions
+RC006     ``__all__`` present and consistent with public defs
+========  ==============================================================
+
+Usage::
+
+    repro lint [paths ...] [--format json] [--select RC001,RC003]
+    python -m repro.checks
+
+Suppress a single line with ``# repro: noqa[RC001]``; configure per-rule
+severity and path scoping under ``[tool.repro.checks]`` in
+``pyproject.toml``.  See the README's "Static analysis" section.
+"""
+
+from __future__ import annotations
+
+from .config import CheckConfig, RuleConfig, load_config
+from .driver import collect_files, lint_files, lint_paths, lint_source
+from .finding import Finding
+from .registry import Module, Rule, all_rules, get_rule, register, rule_ids
+from .report import exit_code, format_json, format_text, report_dict
+
+__all__ = [
+    "CheckConfig",
+    "Finding",
+    "Module",
+    "Rule",
+    "RuleConfig",
+    "all_rules",
+    "collect_files",
+    "exit_code",
+    "format_json",
+    "format_text",
+    "get_rule",
+    "lint_files",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+    "report_dict",
+    "rule_ids",
+]

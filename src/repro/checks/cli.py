@@ -1,0 +1,103 @@
+"""``repro lint`` / ``python -m repro.checks`` — the lint entry point.
+
+Exits 0 when the tree is clean (or every finding is warning-severity),
+1 when any error-severity finding survives suppression, 2 on usage
+errors.  ``--output`` writes the report to a file (the CI artifact) while
+still printing it; ``--format json`` emits the machine document described
+in :mod:`repro.checks.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List, Optional
+
+from .config import load_config
+from .driver import lint_paths
+from .registry import all_rules
+from .report import exit_code, format_json, format_text
+
+__all__ = ["build_lint_parser", "main", "run_lint"]
+
+
+def build_lint_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
+    """The lint argument surface (shared by ``repro lint`` and ``-m``)."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="check the repro invariants (determinism, mergeability, "
+            "picklability) with the RC rule pack",
+        )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: paths from pyproject.toml, "
+        "falling back to src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the report to PATH (e.g. the CI lint artifact)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all enabled rules)",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: auto-discover from cwd)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml and run with built-in defaults",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _discover_pyproject() -> Optional[str]:
+    here = os.getcwd()
+    while True:
+        candidate = os.path.join(here, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(here)
+        if parent == here:
+            return None
+        here = parent
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.description}")
+        return 0
+    if args.no_config:
+        pyproject = None
+    elif args.config is not None:
+        pyproject = args.config
+    else:
+        pyproject = _discover_pyproject()
+    config = load_config(pyproject)
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select else None
+    )
+    findings = lint_paths(args.paths or None, config=config, select=select)
+    report = format_json(findings) if args.format == "json" else format_text(findings)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    return exit_code(findings)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return run_lint(build_lint_parser().parse_args(argv))

@@ -1,0 +1,136 @@
+"""Linter configuration: ``[tool.repro.checks]`` in ``pyproject.toml``.
+
+Example::
+
+    [tool.repro.checks]
+    paths = ["src/repro"]
+    exclude = ["*/_vendored/*"]
+
+    [tool.repro.checks.rules.RC002]
+    severity = "error"
+    exclude = ["*/obs/*"]
+
+    [tool.repro.checks.rules.RC006]
+    enabled = true
+
+Per-rule blocks may set ``enabled`` (bool), ``severity`` (``error`` /
+``warning``), and ``include`` / ``exclude`` (fnmatch patterns matched
+against the linted file's path as given, POSIX separators).  Path
+patterns *extend* the rule's built-in defaults rather than replacing
+them, so scoping encoded in a rule (e.g. RC002's obs allowlist) survives
+a partial config.
+
+TOML parsing uses :mod:`tomllib` (Python >= 3.11) and degrades to the
+built-in defaults when no TOML reader is available — the default rule
+pack is written so the shipped ``pyproject.toml`` block is declarative
+documentation of the defaults, not a behavioural requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Any, Dict, List, Optional, Sequence
+
+from .finding import SEVERITIES
+from .registry import Rule
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on Python <= 3.10
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ImportError:
+        _toml = None  # type: ignore[assignment]
+
+__all__ = ["CheckConfig", "RuleConfig", "load_config"]
+
+#: Default lint roots when neither CLI paths nor config give any.
+DEFAULT_PATHS = ("src/repro",)
+
+
+@dataclass
+class RuleConfig:
+    """Per-rule settings layered over the rule's own defaults."""
+
+    enabled: bool = True
+    severity: Optional[str] = None
+    include: List[str] = field(default_factory=list)
+    exclude: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_table(cls, table: Dict[str, Any], rule_id: str) -> "RuleConfig":
+        severity = table.get("severity")
+        if severity is not None and severity not in SEVERITIES:
+            raise ValueError(
+                f"rule {rule_id}: severity must be one of {SEVERITIES}, got {severity!r}"
+            )
+        return cls(
+            enabled=bool(table.get("enabled", True)),
+            severity=severity,
+            include=[str(p) for p in table.get("include", [])],
+            exclude=[str(p) for p in table.get("exclude", [])],
+        )
+
+
+@dataclass
+class CheckConfig:
+    """Whole-run settings: lint roots plus per-rule overrides."""
+
+    paths: List[str] = field(default_factory=lambda: list(DEFAULT_PATHS))
+    exclude: List[str] = field(default_factory=list)
+    rules: Dict[str, RuleConfig] = field(default_factory=dict)
+
+    def rule_config(self, rule_id: str) -> RuleConfig:
+        return self.rules.get(rule_id, RuleConfig())
+
+    def file_excluded(self, path: str) -> bool:
+        return _matches(path, self.exclude)
+
+    def rule_applies(self, rule: Rule, path: str) -> bool:
+        """Should ``rule`` run on ``path``, given defaults + config scoping?"""
+        cfg = self.rule_config(rule.id)
+        if not cfg.enabled:
+            return False
+        include = list(rule.default_include) + cfg.include
+        if include and not _matches(path, include):
+            return False
+        exclude = list(rule.default_exclude) + cfg.exclude
+        return not _matches(path, exclude)
+
+    def effective_severity(self, rule: Rule) -> str:
+        override = self.rule_config(rule.id).severity
+        return override if override is not None else rule.severity
+
+
+def _matches(path: str, patterns: Sequence[str]) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(fnmatch(normalized, pattern) for pattern in patterns)
+
+
+def load_config(pyproject_path: Optional[str] = None) -> CheckConfig:
+    """Config from a ``pyproject.toml``, or pure defaults.
+
+    ``pyproject_path=None`` returns defaults.  A missing
+    ``[tool.repro.checks]`` table also returns defaults.  Asking for an
+    explicit path without a TOML reader on this interpreter is an error;
+    silently ignoring the file would un-gate the CI lint job.
+    """
+    if pyproject_path is None:
+        return CheckConfig()
+    if _toml is None:  # pragma: no cover - Python <= 3.10 without tomli
+        raise RuntimeError(
+            "reading pyproject.toml needs tomllib (Python >= 3.11) or tomli"
+        )
+    with open(pyproject_path, "rb") as fh:
+        data = _toml.load(fh)
+    table = data.get("tool", {}).get("repro", {}).get("checks", {})
+    rules = {
+        rule_id: RuleConfig.from_table(rule_table, rule_id)
+        for rule_id, rule_table in table.get("rules", {}).items()
+    }
+    return CheckConfig(
+        paths=[str(p) for p in table.get("paths", list(DEFAULT_PATHS))],
+        exclude=[str(p) for p in table.get("exclude", [])],
+        rules=rules,
+    )

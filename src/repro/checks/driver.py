@@ -1,0 +1,108 @@
+"""The lint driver: collect files, parse once, run every applicable rule.
+
+Each file is parsed exactly once; every enabled rule whose path scoping
+matches then visits the shared AST.  Findings are filtered through
+per-line ``# repro: noqa`` suppressions and returned sorted by
+``(path, line, col, rule)`` — deterministic output for identical input,
+the same property the rules police.
+
+Files that fail to parse produce an ``RC000`` syntax-error finding
+instead of crashing the run: a file the linter cannot read is a file the
+invariants cannot be verified on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from . import rules as _rules  # noqa: F401  (imports register the rule pack)
+from .config import CheckConfig
+from .finding import Finding
+from .noqa import collect_suppressions, is_suppressed
+from .registry import Module, Rule, all_rules
+
+__all__ = ["collect_files", "lint_files", "lint_paths", "lint_source"]
+
+
+def collect_files(paths: Iterable[str], config: CheckConfig) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            out.append(path)
+    normalized = sorted({p.replace(os.sep, "/") for p in out})
+    return [p for p in normalized if not config.file_excluded(p)]
+
+
+def _select_rules(config: CheckConfig, select: Optional[Sequence[str]]) -> List[Rule]:
+    chosen = all_rules()
+    if select is not None:
+        wanted = {s.upper() for s in select}
+        chosen = [r for r in chosen if r.id in wanted]
+    return [r.configured(severity=config.effective_severity(r)) for r in chosen]
+
+
+def lint_source(
+    text: str,
+    path: str = "<snippet>",
+    config: Optional[CheckConfig] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one source string (the test seam; also used per file)."""
+    config = config if config is not None else CheckConfig()
+    try:
+        module = Module.from_source(text, path=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="RC000",
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+                hint="fix the syntax error so invariants can be checked",
+            )
+        ]
+    suppressions = collect_suppressions(text)
+    findings: List[Finding] = []
+    for rule in _select_rules(config, select):
+        if not config.rule_applies(rule, path):
+            continue
+        findings.extend(
+            f for f in rule.check(module) if not is_suppressed(f, suppressions)
+        )
+    return sorted(findings)
+
+
+def lint_files(
+    files: Iterable[str],
+    config: Optional[CheckConfig] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint explicit files; returns all findings sorted."""
+    config = config if config is not None else CheckConfig()
+    findings: List[Finding] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        findings.extend(lint_source(text, path=path, config=config, select=select))
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Optional[Sequence[str]] = None,
+    config: Optional[CheckConfig] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint files/directories (defaulting to the config's ``paths``)."""
+    config = config if config is not None else CheckConfig()
+    roots = list(paths) if paths else list(config.paths)
+    return lint_files(collect_files(roots, config), config=config, select=select)

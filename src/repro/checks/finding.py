@@ -1,0 +1,59 @@
+"""The linter's result record.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+sort by ``(path, line, col, rule)`` so reports are deterministic regardless
+of rule execution order — the same invariant the rules themselves enforce
+on the analysis pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["SEVERITIES", "Finding"]
+
+#: Recognized severities, strongest first.  ``error`` findings fail the
+#: lint run (nonzero exit); ``warning`` findings are reported only.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        path: file the violation is in (as given to the driver).
+        line: 1-based source line.
+        col: 0-based column of the offending node.
+        rule: rule id, e.g. ``"RC001"``.
+        severity: ``"error"`` or ``"warning"``.
+        message: what is wrong, specific to the site.
+        hint: how to fix it (rule-level guidance).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str = field(default="error", compare=False)
+    message: str = field(default="", compare=False)
+    hint: str = field(default="", compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (stable key order via sort_keys)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text

@@ -1,0 +1,50 @@
+"""Per-line suppressions: ``# repro: noqa`` and ``# repro: noqa[RC001,RC003]``.
+
+A bare ``# repro: noqa`` silences every rule on its line; the bracketed
+form silences only the listed rule ids.  Suppressions are per-line — they
+apply to findings whose ``line`` matches the comment's line — so a
+suppression can never hide a violation elsewhere in the file.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+from .finding import Finding
+
+__all__ = ["ALL_RULES", "collect_suppressions", "is_suppressed"]
+
+#: Sentinel meaning "every rule" for a bare ``# repro: noqa``.
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+)
+
+
+def collect_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line."""
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = ALL_RULES
+        else:
+            ids = frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
+            if ids:
+                suppressions[lineno] = ids
+    return suppressions
+
+
+def is_suppressed(finding: Finding, suppressions: Dict[int, FrozenSet[str]]) -> bool:
+    """True when ``finding`` is silenced by a noqa comment on its line."""
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return rules is ALL_RULES or "*" in rules or finding.rule in rules

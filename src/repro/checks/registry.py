@@ -1,0 +1,160 @@
+"""Rule plumbing: the module context rules see, the Rule base, the registry.
+
+A rule is a class with an ``id`` (``RCnnn``), a default severity, a fix
+``hint``, and a ``check(module)`` method yielding :class:`~repro.checks.finding.Finding`
+objects.  Rules are registered with :func:`register` at import time
+(:mod:`repro.checks.rules` imports every rule module) and looked up by id.
+
+:class:`Module` packages everything a rule needs for one source file —
+the parsed AST, the raw text, and an import-alias resolver so rules can
+match calls like ``np.random.default_rng()`` against canonical dotted
+names (``numpy.random.default_rng``) however the module spelled its
+imports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from .finding import Finding
+
+__all__ = [
+    "ImportMap",
+    "Module",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rule_ids",
+]
+
+
+class ImportMap:
+    """Resolve local names to canonical dotted import paths.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime as dt`` maps ``dt -> datetime.datetime``.  :meth:`resolve`
+    then canonicalizes an attribute chain rooted at an imported name —
+    ``np.random.default_rng`` becomes ``numpy.random.default_rng`` — and
+    returns ``None`` for chains rooted anywhere else (locals, attributes
+    of ``self``, …), which keeps rules from guessing about shadowed names.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay project-local
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain, or None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+class Module:
+    """One source file, parsed and ready for rules."""
+
+    def __init__(self, path: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.text = text
+        self.tree = tree
+        self.imports = ImportMap(tree)
+
+    @classmethod
+    def from_source(cls, text: str, path: str = "<snippet>") -> "Module":
+        return cls(path, text, ast.parse(text))
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        """A finding anchored at ``node``, carrying the rule's metadata."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+            hint=hint if hint is not None else rule.hint,
+        )
+
+
+class Rule:
+    """Base class for invariant rules.  Subclass and :func:`register`."""
+
+    #: Unique rule id, ``RCnnn``.
+    id: str = ""
+    #: One-line description of the invariant the rule encodes.
+    description: str = ""
+    #: Default severity; per-rule config may override.
+    severity: str = "error"
+    #: Default fix guidance attached to findings.
+    hint: str = ""
+    #: Default fnmatch patterns limiting which files the rule sees
+    #: (empty means every linted file).
+    default_include: Iterable[str] = ()
+    #: Default fnmatch patterns exempting files from the rule.
+    default_exclude: Iterable[str] = ()
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def configured(self, severity: Optional[str] = None) -> "Rule":
+        """A copy of this rule with a config-overridden severity."""
+        if severity is None or severity == self.severity:
+            return self
+        clone = type(self)()
+        clone.severity = severity
+        return clone
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry (by id)."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def rule_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]()
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]

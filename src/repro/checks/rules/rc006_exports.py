@@ -1,0 +1,116 @@
+"""RC006 — public modules must declare ``__all__`` consistent with their defs.
+
+``__all__`` is the project's public-API contract: ``from repro.x import *``
+behaviour, documentation surface, and the boundary mypy/ruff reason
+about.  Three findings:
+
+* a module with no ``__all__`` at all;
+* a name listed in ``__all__`` but not defined (or imported) at module
+  top level — a contract promising something that is not there;
+* a public (non-underscore) top-level ``def`` / ``class`` missing from
+  ``__all__`` — accidental API surface.
+
+Constants and imported names are *not* required to be exported (modules
+import freely without re-exporting), and private modules (``_foo.py``)
+plus ``__main__.py`` are skipped by default.  Modules whose ``__all__``
+is built dynamically (e.g. concatenation) are skipped — the contract
+cannot be read statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..finding import Finding
+from ..registry import Module, Rule, register
+
+__all__ = ["ExportsRule"]
+
+
+def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module-body statements, descending into top-level if/try blocks."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, ast.If):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+
+
+def _literal_all(node: ast.AST) -> Optional[List[str]]:
+    """The string elements of a literal list/tuple ``__all__``, else None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        names.append(elt.value)
+    return names
+
+
+@register
+class ExportsRule(Rule):
+    id = "RC006"
+    description = "__all__ must exist and match the module's public definitions"
+    severity = "error"
+    hint = "declare __all__ listing exactly the module's public defs and classes"
+    default_exclude = ("*/__main__.py", "*/_[!_]*.py")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        defined: Set[str] = set()
+        public_defs: List[ast.stmt] = []
+        all_node: Optional[ast.Assign] = None
+        all_names: Optional[List[str]] = None
+        for stmt in _top_level_statements(module.tree):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined.add(stmt.name)
+                if not stmt.name.startswith("_"):
+                    public_defs.append(stmt)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        defined.add(target.id)
+                        if target.id == "__all__":
+                            all_node = stmt
+                            all_names = _literal_all(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    defined.add(stmt.target.id)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    defined.add(alias.asname or alias.name.split(".")[0])
+        if all_node is None:
+            yield module.finding(
+                self, module.tree,
+                "module declares no __all__ — its public API is implicit",
+            )
+            return
+        if all_names is None:
+            return  # dynamically built __all__; unreadable statically
+        exported = set(all_names)
+        for name in all_names:
+            if name not in defined:
+                yield module.finding(
+                    self, all_node,
+                    f"__all__ lists {name!r}, which is not defined or imported "
+                    "at module top level",
+                )
+        for stmt in public_defs:
+            name = stmt.name  # type: ignore[attr-defined]
+            if name not in exported:
+                yield module.finding(
+                    self, stmt,
+                    f"public {'class' if isinstance(stmt, ast.ClassDef) else 'def'} "
+                    f"{name!r} is missing from __all__",
+                )

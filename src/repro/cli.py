@@ -42,7 +42,7 @@ from .obs import (
     traced,
 )
 from .synth import alicloud_scale, make_alicloud_fleet, make_msrc_fleet, msrc_scale
-from .trace import TraceDataset, read_dataset_dir, write_dataset_dir
+from .trace import read_dataset_dir, write_dataset_dir
 
 __all__ = ["main", "build_parser"]
 
@@ -155,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-alignment", action="store_true",
         help="also flag offsets/sizes not aligned to 512-byte sectors",
     )
+
+    from .checks.cli import build_lint_parser
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the repro invariants (determinism, "
+        "mergeability, picklability) with the RC rule pack",
+    )
+    build_lint_parser(lint)
     return parser
 
 
@@ -393,6 +402,12 @@ def _write_metrics(path: str, registry) -> None:
     _log.info("metrics_written", path=path)
 
 
+def _lint(args: argparse.Namespace) -> int:
+    from .checks.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_lines=args.log_json)
@@ -404,6 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _experiments,
         "stream-analyze": _stream_analyze,
         "validate": _validate,
+        "lint": _lint,
     }
     handler = handlers[args.command]
     metrics_out = getattr(args, "metrics_out", None)

@@ -1,23 +1,8 @@
 """Storage cluster management: SSD/FTL model, wear leveling, placement,
 balancing, write offloading."""
 
-from .device import SSDDevice, SSDGeometry
-from .ftl import FTLStats, PageMappedFTL
-from .placement import (
-    HashPlacement,
-    LeastLoadedPlacement,
-    PlacementPolicy,
-    RoundRobinPlacement,
-    place_dataset,
-)
 from .balancer import ImbalanceReport, device_load_timeseries, measure_imbalance
-from .wear import WEAR_POLICIES, WearLevelingFTL, WearReport, compare_wear_leveling
-from .latency import (
-    DeviceServiceModel,
-    LatencyReport,
-    queue_response_times,
-    simulate_device_latencies,
-)
+from .device import SSDDevice, SSDGeometry
 from .erasure import (
     ParityCost,
     StripeLayout,
@@ -26,11 +11,26 @@ from .erasure import (
     parity_logging_cost,
     rmw_cost,
 )
+from .ftl import FTLStats, PageMappedFTL
+from .latency import (
+    DeviceServiceModel,
+    LatencyReport,
+    queue_response_times,
+    simulate_device_latencies,
+)
 from .offload import (
     OffloadOpportunity,
     dataset_offload_summary,
     volume_offload_opportunity,
 )
+from .placement import (
+    HashPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    place_dataset,
+)
+from .wear import WEAR_POLICIES, WearLevelingFTL, WearReport, compare_wear_leveling
 
 __all__ = [
     "SSDDevice",

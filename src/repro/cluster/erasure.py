@@ -110,7 +110,7 @@ def full_stripe_cost(
 
     def flush() -> None:
         nonlocal data_writes, parity_writes, extra_reads
-        for stripe, dirty in pending.items():
+        for _stripe, dirty in pending.items():
             if len(dirty) >= layout.k:
                 data_writes += layout.k
                 parity_writes += layout.m

@@ -18,7 +18,7 @@ policy and reports wear imbalance and write amplification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 import numpy as np
 

@@ -16,6 +16,26 @@ from ..trace.blocks import (
     unique_blocks,
     working_set_size,
 )
+from .aggregate import (
+    TIB,
+    BasicStatistics,
+    active_days_cdf,
+    basic_statistics,
+    request_size_cdf,
+    volume_mean_size_cdf,
+    write_read_ratio_cdf,
+)
+from .cache_analysis import (
+    DEFAULT_CACHE_FRACTIONS,
+    MissRatioSummary,
+    VolumeCacheResult,
+    dataset_miss_ratios,
+    volume_miss_ratios,
+)
+from .comparison import DatasetSummary, WorkloadComparison, compare_datasets
+from .experiments import EXPERIMENTS, ExperimentContext, render_experiments
+from .findings import FINDING_TITLES, Finding, evaluate_findings
+from .hotspots import ZipfFit, concentration_curve, fit_zipf, ranked_block_traffic
 from .load_intensity import (
     DEFAULT_ACTIVITY_INTERVAL,
     DEFAULT_PEAK_INTERVAL,
@@ -32,6 +52,16 @@ from .load_intensity import (
     peak_intensity,
     write_read_ratio,
 )
+from .report import (
+    ascii_cdf,
+    ascii_curve,
+    format_boxplot_rows,
+    format_bytes,
+    format_cdf,
+    format_duration,
+    format_table,
+)
+from .seasonality import PeriodEstimate, autocorrelation, detect_period
 from .spatial import (
     DEFAULT_RANDOMNESS_THRESHOLD,
     DEFAULT_RANDOMNESS_WINDOW,
@@ -46,6 +76,11 @@ from .spatial import (
     update_coverage,
     working_sets,
 )
+from .streaming_profile import (
+    StreamingVolumeProfile,
+    StreamingVolumeProfiler,
+    stream_profile_requests,
+)
 from .temporal import (
     TRANSITION_TYPES,
     AdjacentAccessTimes,
@@ -55,42 +90,7 @@ from .temporal import (
     dataset_update_intervals,
     update_intervals,
 )
-from .cache_analysis import (
-    DEFAULT_CACHE_FRACTIONS,
-    MissRatioSummary,
-    VolumeCacheResult,
-    dataset_miss_ratios,
-    volume_miss_ratios,
-)
-from .aggregate import (
-    TIB,
-    BasicStatistics,
-    active_days_cdf,
-    basic_statistics,
-    request_size_cdf,
-    volume_mean_size_cdf,
-    write_read_ratio_cdf,
-)
 from .volume_profile import VolumeProfile, compute_profile
-from .experiments import EXPERIMENTS, ExperimentContext, render_experiments
-from .comparison import DatasetSummary, WorkloadComparison, compare_datasets
-from .hotspots import ZipfFit, concentration_curve, fit_zipf, ranked_block_traffic
-from .seasonality import PeriodEstimate, autocorrelation, detect_period
-from .streaming_profile import (
-    StreamingVolumeProfile,
-    StreamingVolumeProfiler,
-    stream_profile_requests,
-)
-from .findings import FINDING_TITLES, Finding, evaluate_findings
-from .report import (
-    ascii_cdf,
-    ascii_curve,
-    format_boxplot_rows,
-    format_bytes,
-    format_cdf,
-    format_duration,
-    format_table,
-)
 
 __all__ = [
     # blocks

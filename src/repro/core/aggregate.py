@@ -11,7 +11,6 @@ from ..stats.cdf import EmpiricalCDF
 from ..trace.dataset import TraceDataset
 from ..trace.record import DEFAULT_BLOCK_SIZE
 from .load_intensity import active_days, write_read_ratio
-from .spatial import working_sets
 
 __all__ = [
     "BasicStatistics",

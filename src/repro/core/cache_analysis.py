@@ -7,16 +7,16 @@ fraction of the volume's working set and report per-op miss ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from ..cache.base import CachePolicy
 from ..cache.lru import LRUCache
 from ..cache.simulator import CacheSimResult, simulate_stream
+from ..trace.blocks import block_events
 from ..trace.dataset import TraceDataset, VolumeTrace
 from ..trace.record import DEFAULT_BLOCK_SIZE
-from ..trace.blocks import block_events
 
 __all__ = [
     "DEFAULT_CACHE_FRACTIONS",

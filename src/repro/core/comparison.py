@@ -9,7 +9,7 @@ paper's Section III-C narrates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -9,12 +9,11 @@ is the plain reporting path used by ``repro experiments`` and notebooks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..stats.cdf import EmpiricalCDF
-from ..stats.quantiles import percentile_groups
 from ..stats.histogram import duration_group_fractions
 from ..trace.dataset import TraceDataset
 from .aggregate import (

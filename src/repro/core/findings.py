@@ -14,7 +14,6 @@ from typing import Any, Callable, Dict, List
 
 import numpy as np
 
-from ..stats.cdf import EmpiricalCDF
 from ..trace.dataset import TraceDataset
 from .cache_analysis import dataset_miss_ratios
 from .load_intensity import (

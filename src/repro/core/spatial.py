@@ -8,13 +8,12 @@ read-mostly/write-mostly block classification, and update coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
+from ..trace.blocks import block_events, block_traffic
 from ..trace.dataset import TraceDataset, VolumeTrace
 from ..trace.record import DEFAULT_BLOCK_SIZE
-from ..trace.blocks import block_events, block_traffic
 
 __all__ = [
     "DEFAULT_RANDOMNESS_WINDOW",

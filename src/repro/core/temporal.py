@@ -14,9 +14,9 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..trace.blocks import block_events
 from ..trace.dataset import TraceDataset, VolumeTrace
 from ..trace.record import DEFAULT_BLOCK_SIZE
-from ..trace.blocks import block_events
 
 __all__ = [
     "TRANSITION_TYPES",

@@ -29,12 +29,11 @@ affecting merge order.
 
 from __future__ import annotations
 
-import itertools
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
 from time import perf_counter
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar, Union
 
 from ..obs import metrics
 from ..obs.tracing import span
@@ -163,7 +162,7 @@ class EngineResult:
         }
 
     def volume_ids(self) -> List[str]:
-        ids = set()
+        ids: Set[str] = set()
         for results in self.per_volume.values():
             ids.update(results)
         return sorted(ids)

@@ -24,7 +24,6 @@ disabled (their counters still flow; only span timings are absent).
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Iterator
 
 from . import metrics
 

@@ -1,13 +1,13 @@
 """Statistics toolkit: CDFs, boxplots, quantiles, histograms, bucketing."""
 
-from .cdf import EmpiricalCDF
 from .boxplot import BoxplotStats
-from .quantiles import PAPER_PERCENTILES, percentile_groups, percentile_table
-from .histogram import Histogram, duration_group_fractions, linear_histogram, log_histogram
-from .timeseries import bucket_counts, bucket_edges, interval_activity, max_interval_count
-from .streaming import ReservoirSampler, StreamingMinMax, StreamingMoments
+from .cdf import EmpiricalCDF
 from .fitting import CANDIDATES, DistributionFit, best_fit, fit_distributions
+from .histogram import Histogram, duration_group_fractions, linear_histogram, log_histogram
 from .hll import HyperLogLog
+from .quantiles import PAPER_PERCENTILES, percentile_groups, percentile_table
+from .streaming import ReservoirSampler, StreamingMinMax, StreamingMoments
+from .timeseries import bucket_counts, bucket_edges, interval_activity, max_interval_count
 
 __all__ = [
     "EmpiricalCDF",

@@ -8,11 +8,16 @@ materializing arrays.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 import numpy as np
 
 __all__ = ["StreamingMoments", "ReservoirSampler", "StreamingMinMax"]
+
+#: Seed of the fallback reservoir generator.  A caller that does not
+#: thread its own seeded Generator still gets run-to-run identical
+#: sampling (RC001: no fresh OS entropy in analysis paths).
+DEFAULT_RESERVOIR_SEED = 0x5EED
 
 
 class StreamingMoments:
@@ -114,7 +119,7 @@ class ReservoirSampler:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(DEFAULT_RESERVOIR_SEED)
         self._items: List[float] = []
         self._seen = 0
 

@@ -1,19 +1,6 @@
 """Synthetic workload generation: arrival, size, and address models,
 application archetypes, and calibrated AliCloud-/MSRC-like fleets."""
 
-from .rng import make_rng, spawn_rngs
-from .distributions import ZipfSampler, bounded_lognormal, categorical
-from .arrival import (
-    ArrivalProcess,
-    DailyBatch,
-    DiurnalArrivals,
-    JitteredRegular,
-    MicroBurst,
-    OnOffArrivals,
-    PoissonArrivals,
-    Superpose,
-)
-from .sizes import ChoiceSizes, FixedSize, LognormalSizes, SizeModel, small_request_mix
 from .address import (
     AddressModel,
     CircularLog,
@@ -22,7 +9,7 @@ from .address import (
     UniformRandom,
     ZipfHotspot,
 )
-from .volume_model import VolumeSpec, generate_volume
+from .alicloud import alicloud_scale, make_alicloud_fleet
 from .archetypes import (
     ALICLOUD_ARCHETYPES,
     MSRC_ARCHETYPES,
@@ -37,10 +24,23 @@ from .archetypes import (
     virtual_desktop,
     web_server,
 )
+from .arrival import (
+    ArrivalProcess,
+    DailyBatch,
+    DiurnalArrivals,
+    JitteredRegular,
+    MicroBurst,
+    OnOffArrivals,
+    PoissonArrivals,
+    Superpose,
+)
+from .distributions import ZipfSampler, bounded_lognormal, categorical
 from .fleet import FleetSpec, build_fleet
-from .twin import TwinParameters, fit_twin, twin_spec
-from .alicloud import alicloud_scale, make_alicloud_fleet
 from .msrc import make_msrc_fleet, msrc_scale
+from .rng import make_rng, spawn_rngs
+from .sizes import ChoiceSizes, FixedSize, LognormalSizes, SizeModel, small_request_mix
+from .twin import TwinParameters, fit_twin, twin_spec
+from .volume_model import VolumeSpec, generate_volume
 
 __all__ = [
     "make_rng",

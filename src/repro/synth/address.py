@@ -16,7 +16,6 @@ one volume's request stream in order.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

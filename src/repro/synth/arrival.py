@@ -14,7 +14,7 @@ effects these models reproduce:
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

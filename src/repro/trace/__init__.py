@@ -1,27 +1,5 @@
 """Block-level I/O trace data model, file formats, filters, and validation."""
 
-from .record import DEFAULT_BLOCK_SIZE, SECTOR_SIZE, IORequest, OpType
-from .dataset import TraceDataset, VolumeTrace
-from .reader import (
-    TraceFormatError,
-    iter_alicloud_requests,
-    iter_msrc_requests,
-    read_alicloud,
-    read_dataset_dir,
-    read_msrc,
-)
-from .writer import write_alicloud, write_dataset_dir, write_msrc
-from .filters import (
-    filter_time_range,
-    filter_volumes,
-    reads_only,
-    rebase_timestamps,
-    split_days,
-    top_traffic_volume_ids,
-    writes_only,
-)
-from .validation import ValidationIssue, ValidationReport, validate_dataset, validate_volume
-from .sampling import SampledTrace, interval_features, select_representatives
 from .blocks import (
     BlockEvents,
     block_events,
@@ -31,6 +9,28 @@ from .blocks import (
     unique_blocks,
     working_set_size,
 )
+from .dataset import TraceDataset, VolumeTrace
+from .filters import (
+    filter_time_range,
+    filter_volumes,
+    reads_only,
+    rebase_timestamps,
+    split_days,
+    top_traffic_volume_ids,
+    writes_only,
+)
+from .reader import (
+    TraceFormatError,
+    iter_alicloud_requests,
+    iter_msrc_requests,
+    read_alicloud,
+    read_dataset_dir,
+    read_msrc,
+)
+from .record import DEFAULT_BLOCK_SIZE, SECTOR_SIZE, IORequest, OpType
+from .sampling import SampledTrace, interval_features, select_representatives
+from .validation import ValidationIssue, ValidationReport, validate_dataset, validate_volume
+from .writer import write_alicloud, write_dataset_dir, write_msrc
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",

@@ -26,7 +26,7 @@ import gzip
 import io
 import os
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO
 
 import numpy as np
 

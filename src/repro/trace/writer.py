@@ -9,7 +9,7 @@ from typing import TextIO
 
 import numpy as np
 
-from .dataset import TraceDataset, VolumeTrace
+from .dataset import TraceDataset
 
 __all__ = ["write_alicloud", "write_msrc", "write_dataset_dir"]
 

@@ -1,0 +1,106 @@
+"""CLI integration tests for ``repro lint`` and ``python -m repro.checks``."""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.checks.cli import main as lint_main
+
+CLEAN = '__all__ = []\nx = 1\n'
+DIRTY = textwrap.dedent(
+    """\
+    import numpy as np
+    __all__ = []
+    rng = np.random.default_rng()
+    """
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "clean.py").write_text(CLEAN)
+    (pkg / "dirty.py").write_text(DIRTY)
+    return pkg
+
+
+class TestLintMain:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        assert lint_main(["--no-config", str(tree / "clean.py")]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_findings_exit_nonzero(self, tree, capsys):
+        assert lint_main(["--no-config", str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RC001" in out
+        assert "dirty.py" in out
+
+    def test_json_format_matches_schema(self, tree, capsys):
+        lint_main(["--no-config", "--format", "json", str(tree)])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["counts"]["total"] == 1
+        assert doc["counts"]["error"] == 1
+        assert doc["counts"]["by_rule"] == {"RC001": 1}
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "RC001"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["line"] == 3
+        assert finding["severity"] == "error"
+        assert finding["message"]
+        assert finding["hint"]
+
+    def test_output_writes_artifact(self, tree, tmp_path, capsys):
+        artifact = tmp_path / "lint.json"
+        lint_main(
+            ["--no-config", "--format", "json", "--output", str(artifact), str(tree)]
+        )
+        on_disk = json.loads(artifact.read_text())
+        printed = json.loads(capsys.readouterr().out)
+        assert on_disk == printed
+
+    def test_select_restricts_rules(self, tree, capsys):
+        assert lint_main(["--no-config", "--select", "RC006", str(tree)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006"):
+            assert rule_id in out
+
+    def test_explicit_config_scopes_rules(self, tree, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.checks.rules.RC001]\nenabled = false\n"
+        )
+        try:
+            code = lint_main(["--config", str(pyproject), str(tree)])
+        except RuntimeError:
+            pytest.skip("no TOML reader on this interpreter")
+        capsys.readouterr()
+        assert code == 0
+
+
+class TestReproCliIntegration:
+    def test_repro_lint_subcommand(self, tree, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main(["lint", "--no-config", str(tree)])
+        assert code == 1
+        assert "RC001" in capsys.readouterr().out
+
+    def test_module_entry_point(self, tree):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.checks", "--no-config",
+             "--format", "json", str(tree)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["counts"]["total"] == 1

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import (
-    ParityCost,
     StripeLayout,
     compare_parity_schemes,
     full_stripe_cost,

@@ -1,6 +1,5 @@
 """Tests for repro.core.aggregate (Table I and Figures 2-4 data)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import FINDING_TITLES, compute_profile, evaluate_findings
-from repro.trace import TraceDataset
 
 from conftest import TEST_SCALE, make_trace
 

@@ -12,7 +12,6 @@ from repro.engine import (
     parallel_map,
     run,
     run_dataset,
-    run_files,
 )
 from repro.trace import TraceDataset, write_dataset_dir
 

@@ -22,7 +22,6 @@ from repro.core import (
 from repro.trace import read_alicloud, write_alicloud
 from repro.trace.blocks import block_events
 
-from conftest import TEST_SCALE
 
 
 class TestGenerateAnalyzeRoundTrip:

@@ -1,6 +1,5 @@
 """Tests for repro.obs.metrics: primitives, snapshots, merge semantics."""
 
-import math
 import pickle
 
 import pytest

@@ -53,4 +53,5 @@ class TestPublicAPI:
             "experiments",
             "stream-analyze",
             "validate",
+            "lint",
         }

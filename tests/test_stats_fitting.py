@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.stats import CANDIDATES, best_fit, fit_distributions
+from repro.stats import best_fit, fit_distributions
 
 
 class TestFitDistributions:

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import compute_profile, update_coverage
+from repro.core import update_coverage
 from repro.synth import fit_twin, generate_volume, twin_spec
-from repro.trace import VolumeTrace
 
 from conftest import make_trace
 

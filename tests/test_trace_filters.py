@@ -1,10 +1,8 @@
 """Tests for repro.trace.filters and repro.trace.validation."""
 
-import numpy as np
 import pytest
 
 from repro.trace import (
-    TraceDataset,
     VolumeTrace,
     filter_time_range,
     filter_volumes,

@@ -1,0 +1,173 @@
+"""Fault-tolerance overhead of the analysis engine.
+
+Standalone benchmark (not pytest): generates a fleet, writes it to trace
+files once, then times the engine's streaming-profile fold under each
+error policy to answer two questions:
+
+* what does the resilience plumbing cost on a *clean* trace (``strict``
+  vs ``skip`` vs ``quarantine`` with nothing to drop)?
+* what does degradation cost on a *dirty* trace (seeded fault-injection
+  corruption under ``quarantine``), and what do unit retries cost?
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py             # full
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke     # CI-sized
+    PYTHONPATH=src python benchmarks/bench_resilience.py --json out.json
+
+``--json PATH`` writes one machine-readable record per timed
+configuration (``name`` / ``n_requests`` / ``seconds`` /
+``requests_per_second``), same shape as ``bench_engine.py``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+
+def _generate(directory: str, n_volumes: int, day_seconds: float, n_days: int) -> int:
+    from repro.synth import Scale, make_alicloud_fleet
+    from repro.trace import write_dataset_dir
+
+    scale = Scale(n_days=n_days, day_seconds=day_seconds)
+    fleet = make_alicloud_fleet(n_volumes=n_volumes, seed=0, scale=scale)
+    write_dataset_dir(fleet, directory, fmt="alicloud")
+    return fleet.n_requests
+
+
+def _bench_policy(directory: str, workers: int, on_error: str, retry=None):
+    from repro.engine import StreamingProfileAnalyzer, run
+
+    return run(
+        directory,
+        [StreamingProfileAnalyzer()],
+        fmt="alicloud",
+        workers=workers,
+        on_error=on_error,
+        retry=retry,
+    )
+
+
+def _record(name: str, n_requests: int, seconds: float) -> dict:
+    return {
+        "name": name,
+        "n_requests": n_requests,
+        "seconds": round(seconds, 6),
+        "requests_per_second": round(n_requests / seconds, 1) if seconds > 0 else None,
+    }
+
+
+def _timed(label: str, fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    print(f"  {label:<36} {elapsed:8.3f} s")
+    return label, elapsed, result
+
+
+def main(argv=None) -> int:
+    from repro import faults
+    from repro.resilience import RetryPolicy
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick run")
+    parser.add_argument("--volumes", type=int, default=None)
+    parser.add_argument("--days", type=int, default=None)
+    parser.add_argument("--day-seconds", type=float, default=None)
+    parser.add_argument("--workers", type=int, nargs="*", default=[1, 4])
+    parser.add_argument(
+        "--corrupt-rate", type=float, default=0.001,
+        help="seeded corruption rate for the dirty-trace runs (default: 0.001)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write machine-readable timing records to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_volumes, n_days, day_seconds = 6, 2, 60.0
+    else:
+        n_volumes, n_days, day_seconds = 60, 31, 240.0
+    n_volumes = args.volumes or n_volumes
+    n_days = args.days or n_days
+    day_seconds = args.day_seconds or day_seconds
+
+    with tempfile.TemporaryDirectory(prefix="bench_resilience_") as tmp:
+        directory = os.path.join(tmp, "fleet")
+        os.mkdir(directory)
+        print(f"generating fleet: {n_volumes} volumes x {n_days} days ...")
+        n_requests = _generate(directory, n_volumes, day_seconds, n_days)
+        print(f"fleet: {n_requests} requests in {len(os.listdir(directory))} files\n")
+
+        records = []
+        strict_times = {}
+        print("clean trace (policy plumbing overhead):")
+        for workers in args.workers:
+            for policy in ("strict", "skip", "quarantine"):
+                label = f"{policy} workers={workers}"
+                _, elapsed, result = _timed(label, _bench_policy, directory, workers, policy)
+                records.append(_record(label, n_requests, elapsed))
+                assert result.errors.dropped_lines == 0
+                if policy == "strict":
+                    strict_times[workers] = elapsed
+
+        print("\ndirty trace (seeded corruption, quarantine policy):")
+        for workers in args.workers:
+            faults.activate(
+                faults.FaultPlan(corrupt_rate=args.corrupt_rate, corrupt_seed=17)
+            )
+            label = f"quarantine+corruption workers={workers}"
+            _, elapsed, result = _timed(label, _bench_policy, directory, workers, "quarantine")
+            faults.deactivate()
+            records.append(_record(label, n_requests, elapsed))
+            dropped = result.errors.quarantined_lines
+            print(f"    quarantined {dropped} lines "
+                  f"({dropped / max(n_requests, 1):.4%} of requests)")
+
+        print("\nretry path (every file crashes once, then succeeds):")
+        for workers in args.workers:
+            faults.activate(
+                faults.FaultPlan(
+                    crash_units=tuple(range(n_volumes)), crash_attempts=1
+                )
+            )
+            label = f"retry-all workers={workers}"
+            _, elapsed, result = _timed(
+                label, _bench_policy, directory, workers, "quarantine",
+                retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+            )
+            faults.deactivate()
+            records.append(_record(label, n_requests, elapsed))
+            assert result.errors.retries == n_volumes
+            assert not result.errors.failed_units
+
+        print("\noverhead vs strict:")
+        for record in records:
+            name = record["name"]
+            for workers, base in strict_times.items():
+                if name.endswith(f"workers={workers}") and not name.startswith("strict"):
+                    print(f"  {name:<36} {record['seconds'] / base:5.2f}x")
+
+        if args.json:
+            payload = {
+                "benchmark": "bench_resilience",
+                "n_volumes": n_volumes,
+                "n_days": n_days,
+                "day_seconds": day_seconds,
+                "corrupt_rate": args.corrupt_rate,
+                "n_requests": n_requests,
+                "results": records,
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"\nwrote {len(records)} timing records to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

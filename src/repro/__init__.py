@@ -21,7 +21,7 @@ Quickstart::
     print(profile.write_read_ratio, profile.update_coverage)
 """
 
-from . import cache, cluster, core, engine, stats, synth, trace
+from . import cache, cluster, core, engine, faults, resilience, stats, synth, trace
 from .core import (
     BasicStatistics,
     Finding,
@@ -50,6 +50,8 @@ __all__ = [
     "cluster",
     "core",
     "engine",
+    "faults",
+    "resilience",
     "stats",
     "synth",
     "trace",

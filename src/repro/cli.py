@@ -12,6 +12,13 @@ every status line goes through the structured logger on stderr
 (``--log-level`` / ``--log-json``), and engine-backed subcommands accept
 ``--metrics-out PATH`` (JSON metrics report, span timings included) and
 ``--progress`` (per-unit completion events as workers finish).
+
+Fault tolerance (see :mod:`repro.resilience`): engine-backed subcommands
+accept ``--on-error {strict,skip,quarantine}``, ``--max-retries`` /
+``--unit-timeout`` for unit-level recovery, ``--quarantine-out`` (JSONL
+sink for sampled malformed lines), ``--errors-out`` (the run's full JSON
+fault ledger), and ``--faults PLAN.json`` to activate a deterministic
+:mod:`repro.faults` injection plan for chaos drills.
 """
 
 from __future__ import annotations
@@ -19,12 +26,13 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
-from . import __version__
+from . import __version__, faults
 from .core import (
     basic_statistics,
     compute_profile,
@@ -32,7 +40,7 @@ from .core import (
     format_table,
 )
 from .engine import DEFAULT_CHUNK_SIZE, read_dataset_dir_chunked
-from .engine.runner import parallel_map
+from .engine.runner import parallel_map, resilient_map
 from .obs import (
     collecting,
     configure_logging,
@@ -41,8 +49,15 @@ from .obs import (
     metrics_report,
     traced,
 )
+from .resilience import (
+    ON_ERROR_CHOICES,
+    ON_ERROR_STRICT,
+    RetryPolicy,
+    RunErrors,
+    write_quarantine_jsonl,
+)
 from .synth import alicloud_scale, make_alicloud_fleet, make_msrc_fleet, msrc_scale
-from .trace import read_dataset_dir, write_dataset_dir
+from .trace import write_dataset_dir
 
 __all__ = ["main", "build_parser"]
 
@@ -66,6 +81,36 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress", action="store_true",
         help="log per-unit completion on stderr as workers finish",
+    )
+    parser.add_argument(
+        "--on-error", choices=ON_ERROR_CHOICES, default=ON_ERROR_STRICT,
+        help="malformed-record policy: strict aborts, skip drops+counts, "
+        "quarantine drops+counts+samples (default: strict)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="re-execute a failed unit up to N times with capped "
+        "deterministic backoff (default: 0)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="fail a pooled unit running longer than this (retried if "
+        "budget remains; needs --workers > 1)",
+    )
+    parser.add_argument(
+        "--quarantine-out", default=None, metavar="PATH",
+        help="write sampled quarantined lines as JSONL "
+        "(with --on-error quarantine)",
+    )
+    parser.add_argument(
+        "--errors-out", default=None, metavar="PATH",
+        help="write the run's fault ledger (failed units, dropped lines, "
+        "retries) as JSON",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="activate a deterministic fault-injection plan (JSON file, "
+        "see repro.faults) for chaos drills",
     )
 
 
@@ -148,12 +193,28 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--output", default="-", help="output JSON path ('-' for stdout)")
     _add_engine_flags(stream)
 
-    val = sub.add_parser("validate", help="sanity-check the trace files in a directory")
+    val = sub.add_parser(
+        "validate",
+        help="preflight a trace directory: parse checks (malformed lines "
+        "become findings, not crashes) plus per-volume content checks",
+    )
     val.add_argument("trace_dir")
     val.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
     val.add_argument(
         "--check-alignment", action="store_true",
         help="also flag offsets/sizes not aligned to 512-byte sectors",
+    )
+    val.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for per-file fan-out (default: 1)",
+    )
+    val.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help=f"trace rows parsed per columnar batch (default: {DEFAULT_CHUNK_SIZE})",
+    )
+    val.add_argument(
+        "--progress", action="store_true",
+        help="log per-unit completion on stderr as workers finish",
     )
 
     from .checks.cli import build_lint_parser
@@ -220,21 +281,83 @@ def _progress_callback(args: argparse.Namespace, stage: str) -> Optional[Callabl
     return callback
 
 
+def _resilience_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """The engine's fault-tolerance kwargs from the shared CLI flags."""
+    max_retries = getattr(args, "max_retries", 0)
+    return {
+        "on_error": getattr(args, "on_error", ON_ERROR_STRICT),
+        "retry": RetryPolicy(max_retries=max_retries) if max_retries > 0 else None,
+        "unit_timeout": getattr(args, "unit_timeout", None),
+    }
+
+
+def _activate_faults(args: argparse.Namespace) -> None:
+    """Activate ``--faults`` (here and, via the env var, in pool workers)."""
+    plan_path = getattr(args, "faults", None)
+    if not plan_path:
+        return
+    faults.activate(faults.load_plan(plan_path))
+    os.environ[faults.ENV_VAR] = plan_path
+    _log.info("faults_active", plan=plan_path)
+
+
+def _emit_error_reports(args: argparse.Namespace, errors: RunErrors) -> None:
+    """Write ``--errors-out`` / ``--quarantine-out`` and log degradation."""
+    errors_out = getattr(args, "errors_out", None)
+    if errors_out:
+        payload = json.dumps(_json_safe(errors.to_dict()), indent=2, sort_keys=True)
+        with open(errors_out, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        _log.info("errors_written", path=errors_out)
+    quarantine_out = getattr(args, "quarantine_out", None)
+    if quarantine_out:
+        write_quarantine_jsonl(quarantine_out, errors.quarantine_sample)
+        _log.info(
+            "quarantine_written",
+            path=quarantine_out,
+            records=len(errors.quarantine_sample),
+        )
+    if not errors.ok:
+        _log.warning(
+            "run_degraded",
+            policy=errors.policy,
+            failed_units=len(errors.failed_units),
+            dropped_lines=errors.dropped_lines,
+            retries=errors.retries,
+            timeouts=errors.timeouts,
+            pool_breaks=errors.pool_breaks,
+        )
+
+
 def _analyze(args: argparse.Namespace) -> int:
+    res = _resilience_kwargs(args)
+    errors = RunErrors(policy=res["on_error"])
     dataset = read_dataset_dir_chunked(
         args.trace_dir, fmt=args.format,
         chunk_size=args.chunk_size, workers=args.workers,
         progress=_progress_callback(args, "parse"),
+        errors=errors, **res,
     )
-    profiles = [
-        _json_safe(d)
-        for d in parallel_map(
+    if res["on_error"] == ON_ERROR_STRICT:
+        raw = list(
+            parallel_map(
+                _profile_volume, dataset.volumes(), args.workers,
+                progress=_progress_callback(args, "profile"),
+                retry=res["retry"], unit_timeout=res["unit_timeout"],
+                block_size=args.block_size,
+            )
+        )
+    else:
+        maybe, errors = resilient_map(
             _profile_volume, dataset.volumes(), args.workers,
             progress=_progress_callback(args, "profile"),
-            block_size=args.block_size,
+            retry=res["retry"], unit_timeout=res["unit_timeout"],
+            errors=errors, block_size=args.block_size,
         )
-    ]
+        raw = [p for p in maybe if p is not None]
+    profiles = [_json_safe(d) for d in raw]
     payload = json.dumps({"dataset": dataset.name, "profiles": profiles}, indent=2)
+    _emit_error_reports(args, errors)
     if args.output == "-":
         print(payload)
     else:
@@ -245,11 +368,14 @@ def _analyze(args: argparse.Namespace) -> int:
 
 
 def _report(args: argparse.Namespace) -> int:
+    errors = RunErrors(policy=getattr(args, "on_error", ON_ERROR_STRICT))
     dataset = read_dataset_dir_chunked(
         args.trace_dir, fmt=args.format,
         chunk_size=args.chunk_size, workers=args.workers,
         progress=_progress_callback(args, "parse"),
+        errors=errors, **_resilience_kwargs(args),
     )
+    _emit_error_reports(args, errors)
     stats = basic_statistics(dataset, block_size=args.block_size, workers=args.workers)
     rows = [
         ["Number of volumes", stats.n_volumes],
@@ -271,11 +397,14 @@ def _report(args: argparse.Namespace) -> int:
 def _findings(args: argparse.Namespace) -> int:
     scale_a = alicloud_scale(day_seconds=args.day_seconds)
     scale_m = msrc_scale(day_seconds=args.day_seconds)
+    res = _resilience_kwargs(args)
+    errors = RunErrors(policy=res["on_error"])
     if args.ali_dir is not None:
         ali = read_dataset_dir_chunked(
             args.ali_dir, fmt="alicloud",
             chunk_size=args.chunk_size, workers=args.workers,
             progress=_progress_callback(args, "parse-ali"),
+            errors=errors, **res,
         )
     else:
         ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
@@ -284,9 +413,11 @@ def _findings(args: argparse.Namespace) -> int:
             args.msrc_dir, fmt="msrc",
             chunk_size=args.chunk_size, workers=args.workers,
             progress=_progress_callback(args, "parse-msrc"),
+            errors=errors, **res,
         )
     else:
         msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
+    _emit_error_reports(args, errors)
     findings = evaluate_findings(
         ali,
         msrc,
@@ -324,8 +455,6 @@ def _experiments(args: argparse.Namespace) -> int:
 
 
 def _stream_analyze(args: argparse.Namespace) -> int:
-    import os
-
     from .engine import StreamingProfileAnalyzer, run_files
     from .engine.chunks import list_trace_files
 
@@ -339,7 +468,9 @@ def _stream_analyze(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         workers=args.workers,
         progress=_progress_callback(args, "fold"),
+        **_resilience_kwargs(args),
     )
+    _emit_error_reports(args, result.errors)
     profiles = result.analyzer("streaming_profile")
     payload = json.dumps(
         {
@@ -379,15 +510,18 @@ def _stream_analyze(args: argparse.Namespace) -> int:
 
 
 def _validate(args: argparse.Namespace) -> int:
-    from .trace.validation import validate_dataset
+    from .trace.validation import validate_trace_dir
 
-    dataset = read_dataset_dir(args.trace_dir, fmt=args.format)
-    report = validate_dataset(dataset, check_alignment=args.check_alignment)
+    report = validate_trace_dir(
+        args.trace_dir,
+        fmt=args.format,
+        check_alignment=args.check_alignment,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+        progress=_progress_callback(args, "validate"),
+    )
     if report.ok:
-        print(
-            f"OK: {dataset.n_volumes} volumes, {dataset.n_requests} requests, "
-            f"no issues found"
-        )
+        print("OK: no issues found")
         return 0
     for issue in report.issues:
         print(issue)
@@ -422,6 +556,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _lint,
     }
     handler = handlers[args.command]
+    _activate_faults(args)
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out is None:
         return handler(args)

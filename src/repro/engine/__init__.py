@@ -41,7 +41,14 @@ from .chunks import (
     list_trace_files,
     read_dataset_dir_chunked,
 )
-from .runner import EngineResult, parallel_map, run, run_dataset, run_files
+from .runner import (
+    EngineResult,
+    parallel_map,
+    resilient_map,
+    run,
+    run_dataset,
+    run_files,
+)
 
 __all__ = [
     "Analyzer",
@@ -63,6 +70,7 @@ __all__ = [
     "read_dataset_dir_chunked",
     "EngineResult",
     "parallel_map",
+    "resilient_map",
     "run",
     "run_dataset",
     "run_files",

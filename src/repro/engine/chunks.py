@@ -26,8 +26,17 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..obs import metrics
 from ..obs.tracing import span
+from ..resilience import (
+    ON_ERROR_QUARANTINE,
+    ON_ERROR_STRICT,
+    ParseErrors,
+    RetryPolicy,
+    RunErrors,
+    validate_on_error,
+)
 from ..trace.dataset import TraceDataset, VolumeTrace
 from ..trace.reader import (
     TraceFormatError,
@@ -203,6 +212,45 @@ def _parse_batch_fallback(
     syntax), returns the same column tuple as the fast path.
     """
     reqs = [row_parse(line, lineno) for line, lineno in zip(lines, linenos)]
+    return _columns_from_requests(reqs)
+
+
+def _parse_batch_salvage(
+    lines: Sequence[str],
+    linenos: Sequence[int],
+    row_parse: Callable[[str, int], IORequest],
+    path: str,
+    on_error: str,
+    errors: Optional[ParseErrors],
+    reg: metrics.MetricsRegistry,
+):
+    """Per-line re-parse that drops malformed lines instead of raising.
+
+    The non-strict twin of :func:`_parse_batch_fallback`: good rows come
+    back as the usual column tuple (or None when the whole batch is bad);
+    each malformed row is counted and, when ``errors`` is given, recorded
+    there (with a sampled :class:`~repro.resilience.QuarantineRecord`
+    under the ``quarantine`` policy).
+    """
+    keep_sample = on_error == ON_ERROR_QUARANTINE
+    dropped = reg.counter(
+        "engine.lines_quarantined" if keep_sample else "engine.lines_skipped"
+    )
+    reqs: List[IORequest] = []
+    for line, lineno in zip(lines, linenos):
+        try:
+            reqs.append(row_parse(line, lineno))
+        except TraceFormatError as exc:
+            dropped.inc()
+            if errors is not None:
+                errors.record(path, lineno, str(exc), line, keep_sample)
+    if not reqs:
+        return None
+    return _columns_from_requests(reqs)
+
+
+def _columns_from_requests(reqs: Sequence[IORequest]):
+    """Column tuple (fast-path layout) from row-parsed requests."""
     volumes = np.array([r.volume for r in reqs], dtype=np.str_)
     timestamps = np.array([r.timestamp for r in reqs], dtype=np.float64)
     offsets = np.array([r.offset for r in reqs], dtype=np.int64)
@@ -241,11 +289,19 @@ def _split_by_volume(columns) -> Iterator[Chunk]:
         )
 
 
-def _iter_line_batches(path: str, chunk_size: int, skip_header: bool):
+def _iter_line_batches(
+    path: str,
+    chunk_size: int,
+    skip_header: bool,
+    corrupt: Optional[Callable[[int, str], str]] = None,
+):
     """Yield ``(lines, linenos)`` batches, skipping blanks and the header.
 
     Mirrors the row readers exactly: blank lines are skipped anywhere and
-    the header check applies to physical line 1 only.
+    the header check applies to physical line 1 only.  ``corrupt`` is the
+    fault-injection hook (:func:`repro.faults.line_corruptor`), applied to
+    data lines only so injected corruption hits the parsers, not the
+    header/blank handling.
     """
     with open_trace_file(path) as fh:
         lines: List[str] = []
@@ -255,7 +311,7 @@ def _iter_line_batches(path: str, chunk_size: int, skip_header: bool):
                 continue
             if lineno == 1 and skip_header and _looks_like_header(line):
                 continue
-            lines.append(line)
+            lines.append(line if corrupt is None else corrupt(lineno, line))
             linenos.append(lineno)
             if len(lines) >= chunk_size:
                 yield lines, linenos
@@ -269,6 +325,8 @@ def iter_chunks(
     fmt: str = "alicloud",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     skip_header: bool = True,
+    on_error: str = ON_ERROR_STRICT,
+    errors: Optional[ParseErrors] = None,
 ) -> Iterator[Chunk]:
     """Stream per-volume :class:`Chunk` batches from one trace file.
 
@@ -278,13 +336,22 @@ def iter_chunks(
         chunk_size: lines parsed per batch (each batch yields one chunk
             per volume present in it).
         skip_header: skip a column-name header line, like the row readers.
+        on_error: ``"strict"`` raises on the first malformed line;
+            ``"skip"`` / ``"quarantine"`` drop malformed lines, count them
+            (``engine.lines_skipped`` / ``engine.lines_quarantined``), and
+            keep every well-formed line — at any chunk size, the same
+            lines survive.
+        errors: optional :class:`~repro.resilience.ParseErrors` ledger
+            that receives the exact dropped count (and sampled records
+            under ``quarantine``).
 
     Raises:
-        TraceFormatError: for malformed lines, with the same message and
-            line number as the row readers.
+        TraceFormatError: under ``strict`` only, for malformed lines, with
+            the same message and line number as the row readers.
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    on_error = validate_on_error(on_error)
     try:
         batch_parse, row_parse = _FORMATS[fmt]
     except KeyError:
@@ -295,7 +362,8 @@ def iter_chunks(
     lines_total = reg.counter("parse.lines")
     bytes_total = reg.counter("parse.bytes")
     chunks_total = reg.counter("parse.chunks")
-    for lines, linenos in _iter_line_batches(path, chunk_size, skip_header):
+    corrupt = faults.line_corruptor(path)
+    for lines, linenos in _iter_line_batches(path, chunk_size, skip_header, corrupt):
         lines_total.inc(len(lines))
         bytes_total.inc(sum(map(len, lines)))
         with span("parse_batch"):
@@ -304,7 +372,14 @@ def iter_chunks(
             except _BadBatch:
                 reg.counter("parse.fallback_batches").inc()
                 reg.counter("parse.fallback_lines").inc(len(lines))
-                columns = _parse_batch_fallback(lines, linenos, row_parse)
+                if on_error == ON_ERROR_STRICT:
+                    columns = _parse_batch_fallback(lines, linenos, row_parse)
+                else:
+                    columns = _parse_batch_salvage(
+                        lines, linenos, row_parse, path, on_error, errors, reg
+                    )
+        if columns is None:
+            continue
         for chunk in _split_by_volume(columns):
             chunks_total.inc()
             yield chunk
@@ -347,10 +422,19 @@ class _VolumeColumns:
         self.response_times: List[np.ndarray] = []
 
 
-def _read_file_columns(path: str, fmt: str, chunk_size: int) -> Dict[str, "_VolumeColumns"]:
-    """Parse one file into per-volume column fragments (worker unit)."""
+def _read_file_columns(
+    path: str, fmt: str, chunk_size: int, on_error: str = ON_ERROR_STRICT
+) -> Tuple[Dict[str, "_VolumeColumns"], Optional[ParseErrors]]:
+    """Parse one file into per-volume column fragments (worker unit).
+
+    Returns the fragments plus the file's dropped-line ledger (None when
+    the policy is strict or the file parsed clean).
+    """
+    parse_errors = None if on_error == ON_ERROR_STRICT else ParseErrors()
     acc: Dict[str, _VolumeColumns] = {}
-    for chunk in iter_chunks(path, fmt=fmt, chunk_size=chunk_size):
+    for chunk in iter_chunks(
+        path, fmt=fmt, chunk_size=chunk_size, on_error=on_error, errors=parse_errors
+    ):
         cols = acc.get(chunk.volume_id)
         if cols is None:
             cols = acc[chunk.volume_id] = _VolumeColumns()
@@ -360,7 +444,9 @@ def _read_file_columns(path: str, fmt: str, chunk_size: int) -> Dict[str, "_Volu
         cols.is_write.append(chunk.is_write)
         if chunk.response_times is not None:
             cols.response_times.append(chunk.response_times)
-    return acc
+    if parse_errors is not None and not parse_errors.dropped:
+        parse_errors = None
+    return acc, parse_errors
 
 
 def read_dataset_dir_chunked(
@@ -370,6 +456,10 @@ def read_dataset_dir_chunked(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    on_error: str = ON_ERROR_STRICT,
+    retry: Optional[RetryPolicy] = None,
+    unit_timeout: Optional[float] = None,
+    errors: Optional[RunErrors] = None,
 ) -> TraceDataset:
     """Chunked-parse replacement for :func:`repro.trace.reader.read_dataset_dir`.
 
@@ -380,23 +470,54 @@ def read_dataset_dir_chunked(
     completion order.  Parse metrics (lines, bytes, chunks) land in the
     caller's current registry at any worker count, and
     ``progress(done, total)`` fires per completed file.
+
+    Fault tolerance mirrors :func:`repro.engine.runner.run_files`:
+    ``on_error`` governs malformed lines and (non-strict) permanently
+    failed files, ``retry`` / ``unit_timeout`` govern unit recovery, and
+    ``errors`` (when given) collects the run's fault ledger.
     """
     import os
 
-    from .runner import parallel_map
+    from .runner import parallel_map, resilient_map
 
+    on_error = validate_on_error(on_error)
     files = list_trace_files(directory)
-    per_file = parallel_map(
-        _read_file_columns,
-        files,
-        workers,
-        progress=progress,
-        fmt=fmt,
-        chunk_size=chunk_size,
-    )
+    run_errors = errors if errors is not None else RunErrors(policy=on_error)
+    if on_error == ON_ERROR_STRICT:
+        pairs: List[Optional[Tuple[Dict[str, _VolumeColumns], Optional[ParseErrors]]]] = list(
+            parallel_map(
+                _read_file_columns,
+                files,
+                workers,
+                progress=progress,
+                retry=retry,
+                unit_timeout=unit_timeout,
+                fmt=fmt,
+                chunk_size=chunk_size,
+                on_error=on_error,
+            )
+        )
+    else:
+        pairs, run_errors = resilient_map(
+            _read_file_columns,
+            files,
+            workers,
+            progress=progress,
+            retry=retry,
+            unit_timeout=unit_timeout,
+            errors=run_errors,
+            fmt=fmt,
+            chunk_size=chunk_size,
+            on_error=on_error,
+        )
 
     merged: Dict[str, _VolumeColumns] = {}
-    for acc in per_file:
+    for pair in pairs:
+        if pair is None:
+            continue
+        acc, parse_errors = pair
+        if parse_errors is not None:
+            run_errors.absorb_parse(parse_errors)
         for vid, cols in acc.items():
             into = merged.get(vid)
             if into is None:

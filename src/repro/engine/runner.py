@@ -16,27 +16,74 @@ states come back and are merged **in sorted unit order** (never completion
 order), so results are bit-identical across worker counts.  ``workers=1``
 falls back to a plain sequential loop with no pool or pickling overhead.
 
-Every fan-out is observable (:mod:`repro.obs`): each worker unit runs
-inside its own metrics registry and ships a snapshot back alongside its
-result; :func:`parallel_map` merges snapshots into the caller's registry
-in submission order, so counter totals are identical at any worker count.
-Per-unit wall times land in the ``engine.unit_seconds`` histogram, and
-each fan-out sets ``engine.wall_seconds`` / ``engine.utilization``
-(busy-time over ``workers x wall``) gauges.  A ``progress`` callback
-reports units as they *complete* (pool completion order) without
-affecting merge order.
+Every fan-out is observable (:mod:`repro.obs`) and fault-tolerant
+(:mod:`repro.resilience`):
+
+* each worker unit runs inside its own metrics registry and ships a
+  snapshot back alongside its result; snapshots merge into the caller's
+  registry in submission order, so counter totals are identical at any
+  worker count.  Per-unit wall times land in ``engine.unit_seconds``, and
+  each fan-out sets ``engine.wall_seconds`` / ``engine.utilization``.
+* a unit that raises is retried up to ``retry.max_retries`` times with
+  capped deterministic backoff (``engine.retries``); a unit that exhausts
+  its budget is a :class:`~repro.resilience.UnitFailure`
+  (``engine.units_failed``) — raised under the ``strict`` error policy,
+  recorded in ``EngineResult.errors`` and skipped from the merge under
+  ``skip`` / ``quarantine``.
+* a dead worker process (``BrokenProcessPool``) is recovered by
+  re-executing every interrupted unit in-process (``engine.pool_breaks``);
+  each interrupted unit gets one replacement attempt free of the retry
+  budget.  A fatal error never leaks a pool: outstanding futures are
+  cancelled (``shutdown(cancel_futures=True)``) before the error
+  propagates.
+* with ``unit_timeout`` set, a pooled unit running past its deadline is
+  failed (``engine.unit_timeouts``) and retried if budget remains; the
+  stuck worker is abandoned and its process terminated at shutdown.
+  Timeouts apply to pooled execution only (an in-process unit cannot be
+  preempted) and depend on machine speed, so they sit outside the
+  bit-identical-results guarantee.
+
+A ``progress(done, total)`` callback reports units as they reach a
+*terminal* state (success or permanent failure) — retried attempts do not
+re-count, so ``done`` is monotonic and ends at ``total``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+import math
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from functools import partial
-from time import perf_counter
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar, Union
+from time import perf_counter, sleep
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+    cast,
+)
 
+from .. import faults
 from ..obs import metrics
 from ..obs.tracing import span
+from ..resilience import (
+    ON_ERROR_STRICT,
+    ParseErrors,
+    RetryPolicy,
+    RunErrors,
+    UnitFailure,
+    UnitTimeoutError,
+    unit_label,
+    validate_on_error,
+)
 from ..trace.dataset import TraceDataset, VolumeTrace
 from .analyzer import Analyzer
 from .chunks import (
@@ -47,7 +94,14 @@ from .chunks import (
     list_trace_files,
 )
 
-__all__ = ["EngineResult", "run", "run_files", "run_dataset", "parallel_map"]
+__all__ = [
+    "EngineResult",
+    "run",
+    "run_files",
+    "run_dataset",
+    "parallel_map",
+    "resilient_map",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -55,15 +109,24 @@ R = TypeVar("R")
 #: analyzer index -> volume id -> accumulated state
 _StateMap = Dict[int, Dict[str, Any]]
 
+#: unit result as it travels back from execution: (value, metrics snapshot);
+#: the snapshot is None for units that ran in-process (their metrics
+#: recorded directly into the caller's registry).
+_UnitOut = Tuple[Any, Optional[Dict[str, Any]]]
 
-def _instrumented_unit(bound: Callable[[T], R], item: T) -> Tuple[R, Dict[str, Any]]:
+
+def _instrumented_unit(
+    bound: Callable[..., Any], item: Any, label: str, index: int, attempt: int
+) -> _UnitOut:
     """Run one unit in its own registry; return ``(result, snapshot)``.
 
     The fresh registry means fork-inherited parent metrics never leak
-    into a worker's snapshot.
+    into a worker's snapshot.  Fault injection (when a plan is active)
+    fires inside the registry so injected-fault counters ship back too.
     """
     with metrics.collecting() as reg:
         start = perf_counter()
+        faults.inject_unit_fault(label, index, attempt, in_worker=True)
         out = bound(item)
         reg.histogram("engine.unit_seconds").observe(perf_counter() - start)
     return out, reg.snapshot()
@@ -76,64 +139,311 @@ def _record_fanout(reg: metrics.MetricsRegistry, busy: float, wall: float, worke
         reg.gauge("engine.utilization").set(busy / (workers * wall))
 
 
+def _fail_or_retry(
+    i: int,
+    kind: str,
+    error_text: str,
+    labels: Sequence[str],
+    attempts: List[int],
+    allowance: List[int],
+    retry: Optional[RetryPolicy],
+    errors: RunErrors,
+    reg: metrics.MetricsRegistry,
+) -> bool:
+    """Account one failed attempt; True when the unit failed permanently.
+
+    When budget remains, the (deterministic, capped) backoff is slept
+    here and False returned — the caller re-submits or re-runs the unit.
+    """
+    if attempts[i] < allowance[i]:
+        errors.retries += 1
+        reg.counter("engine.retries").inc()
+        if retry is not None:
+            delay = retry.backoff(attempts[i])
+            if delay > 0.0:
+                sleep(delay)
+        return False
+    errors.failed_units.append(UnitFailure(labels[i], i, kind, error_text, attempts[i]))
+    reg.counter("engine.units_failed").inc()
+    return True
+
+
+def _run_inprocess(
+    bound: Callable[..., Any],
+    items: Sequence[Any],
+    indices: Iterable[int],
+    labels: Sequence[str],
+    attempts: List[int],
+    allowance: List[int],
+    retry: Optional[RetryPolicy],
+    errors: RunErrors,
+    outs: List[Optional[_UnitOut]],
+    fail_fast: bool,
+    reg: metrics.MetricsRegistry,
+    note_done: Callable[[], None],
+) -> float:
+    """Run ``indices`` in-process with the retry loop; returns busy time.
+
+    Serves both the sequential (``workers <= 1``) path and in-process
+    recovery after a broken pool.  Metrics record directly into the
+    caller's registry, so ``outs`` entries carry no snapshot.
+    """
+    unit_seconds = reg.histogram("engine.unit_seconds")
+    busy = 0.0
+    for i in indices:
+        while True:
+            attempts[i] += 1
+            t0 = perf_counter()
+            try:
+                faults.inject_unit_fault(labels[i], i, attempts[i], in_worker=False)
+                value = bound(items[i])
+            except Exception as exc:
+                busy += perf_counter() - t0
+                if fail_fast and attempts[i] >= allowance[i]:
+                    raise
+                if _fail_or_retry(
+                    i, "exception", repr(exc), labels, attempts, allowance, retry, errors, reg
+                ):
+                    note_done()
+                    break
+                continue
+            elapsed = perf_counter() - t0
+            busy += elapsed
+            unit_seconds.observe(elapsed)
+            outs[i] = (value, None)
+            note_done()
+            break
+    return busy
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcefully end worker processes abandoned behind a stuck unit."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        proc.terminate()
+
+
+def _run_pooled(
+    bound: Callable[..., Any],
+    items: Sequence[Any],
+    labels: Sequence[str],
+    attempts: List[int],
+    allowance: List[int],
+    retry: Optional[RetryPolicy],
+    unit_timeout: Optional[float],
+    errors: RunErrors,
+    outs: List[Optional[_UnitOut]],
+    fail_fast: bool,
+    reg: metrics.MetricsRegistry,
+    workers: int,
+    note_done: Callable[[], None],
+) -> float:
+    """Fan units out across a process pool with retries and timeouts."""
+    n = len(items)
+    busy = 0.0
+    terminal_failed: Set[int] = set()
+    info: Dict["Future[_UnitOut]", Tuple[int, float]] = {}
+    abandoned = False
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(i: int) -> None:
+        fut = pool.submit(_instrumented_unit, bound, items[i], labels[i], i, attempts[i] + 1)
+        attempts[i] += 1
+        deadline = perf_counter() + unit_timeout if unit_timeout is not None else math.inf
+        info[fut] = (i, deadline)
+
+    try:
+        try:
+            for i in range(n):
+                submit(i)
+            while info:
+                timeout: Optional[float] = None
+                if unit_timeout is not None:
+                    timeout = max(0.0, min(dl for _, dl in info.values()) - perf_counter())
+                finished, _ = wait(set(info), timeout=timeout, return_when=FIRST_COMPLETED)
+                if not finished:
+                    now = perf_counter()
+                    expired = [f for f, (_, dl) in info.items() if dl <= now + 1e-6]
+                    for fut in expired:
+                        i, _ = info.pop(fut)
+                        fut.cancel()
+                        abandoned = True
+                        errors.timeouts += 1
+                        reg.counter("engine.unit_timeouts").inc()
+                        message = (
+                            f"unit {labels[i]!r} exceeded unit_timeout="
+                            f"{unit_timeout:g}s (attempt {attempts[i]})"
+                        )
+                        if _fail_or_retry(
+                            i, "timeout", message, labels, attempts, allowance,
+                            retry, errors, reg,
+                        ):
+                            terminal_failed.add(i)
+                            if fail_fast:
+                                raise UnitTimeoutError(message)
+                            note_done()
+                        else:
+                            submit(i)
+                    continue
+                broken = False
+                for fut in finished:
+                    i, _ = info.pop(fut)
+                    try:
+                        outs[i] = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                    except Exception as exc:
+                        if _fail_or_retry(
+                            i, "exception", repr(exc), labels, attempts, allowance,
+                            retry, errors, reg,
+                        ):
+                            terminal_failed.add(i)
+                            if fail_fast:
+                                raise
+                            note_done()
+                        else:
+                            submit(i)
+                    else:
+                        note_done()
+                if broken:
+                    raise BrokenProcessPool("a worker process died unexpectedly")
+        except BrokenProcessPool:
+            # The pool is unusable; every interrupted unit is re-executed
+            # in-process, with one replacement attempt free of the retry
+            # budget (the attempt that died never ran to completion).
+            errors.pool_breaks += 1
+            reg.counter("engine.pool_breaks").inc()
+            info.clear()
+            interrupted = [
+                i for i in range(n) if outs[i] is None and i not in terminal_failed
+            ]
+            for i in interrupted:
+                allowance[i] += 1
+            with span("engine.recover_inprocess"):
+                busy += _run_inprocess(
+                    bound, items, interrupted, labels, attempts, allowance,
+                    retry, errors, outs, fail_fast, reg, note_done,
+                )
+    finally:
+        if abandoned:
+            # A stuck worker would make a waiting shutdown hang forever.
+            pool.shutdown(wait=False, cancel_futures=True)
+            _terminate_workers(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return busy
+
+
+def _map_core(
+    fn: Callable[..., Any],
+    items: Iterable[Any],
+    workers: int,
+    progress: Optional[Callable[[int, int], None]],
+    retry: Optional[RetryPolicy],
+    unit_timeout: Optional[float],
+    fail_fast: bool,
+    errors: RunErrors,
+    kwargs: Dict[str, Any],
+) -> List[Optional[Any]]:
+    """Shared execution core of :func:`parallel_map` / :func:`resilient_map`."""
+    bound = partial(fn, **kwargs) if kwargs else fn
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        return []
+    reg = metrics.get_registry()
+    start = perf_counter()
+    outs: List[Optional[_UnitOut]] = [None] * n
+    labels = [unit_label(item) for item in items]
+    attempts = [0] * n
+    allowance = [retry.max_attempts if retry is not None else 1] * n
+    done = 0
+
+    def note_done() -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, n)
+
+    pooled = workers > 1 and n > 1
+    if pooled:
+        busy = _run_pooled(
+            bound, items, labels, attempts, allowance, retry, unit_timeout,
+            errors, outs, fail_fast, reg, workers, note_done,
+        )
+    else:
+        busy = _run_inprocess(
+            bound, items, range(n), labels, attempts, allowance, retry,
+            errors, outs, fail_fast, reg, note_done,
+        )
+    results: List[Optional[Any]] = []
+    for out in outs:
+        if out is None:
+            results.append(None)
+            continue
+        value, snap = out
+        if snap is not None:
+            busy += snap["histograms"].get("engine.unit_seconds", {}).get("sum", 0.0)
+            reg.merge_snapshot(snap)
+        results.append(value)
+    _record_fanout(reg, busy, perf_counter() - start, workers if pooled else 1)
+    return results
+
+
 def parallel_map(
     fn: Callable[..., R],
     items: Iterable[T],
     workers: int,
     progress: Optional[Callable[[int, int], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    unit_timeout: Optional[float] = None,
     **kwargs: Any,
 ) -> List[R]:
-    """Map ``fn`` over ``items``, preserving order.
+    """Map ``fn`` over ``items``, preserving order; fail-fast on errors.
 
     ``workers <= 1`` runs sequentially in-process; otherwise items fan out
     across a process pool (``fn`` must be picklable, i.e. module-level).
-    Keyword arguments are bound with :func:`functools.partial`.
+    Keyword arguments are bound with :func:`functools.partial`
+    (``progress`` / ``retry`` / ``unit_timeout`` are reserved names).
 
     Each unit's metrics are collected in the worker and merged into the
     caller's current registry in submission order — totals are identical
     at any worker count.  ``progress(done, total)`` (when given) fires as
-    units complete; under a pool that is completion order, while results
-    and metric merges keep submission order.
+    units reach a terminal state; ``done`` is monotonic even when units
+    are retried.
+
+    A unit exception is retried per ``retry`` (see
+    :class:`~repro.resilience.RetryPolicy`); once the budget is exhausted
+    the exception propagates — after cancelling every outstanding future,
+    so no pool or stray worker outlives the error.  Use
+    :func:`resilient_map` to capture failures instead of raising.
     """
-    bound = partial(fn, **kwargs) if kwargs else fn
-    items = list(items)
-    reg = metrics.get_registry()
-    total = len(items)
-    start = perf_counter()
-    if workers <= 1 or total <= 1:
-        unit_seconds = reg.histogram("engine.unit_seconds")
-        results: List[R] = []
-        busy = 0.0
-        for done, item in enumerate(items, start=1):
-            t0 = perf_counter()
-            results.append(bound(item))
-            elapsed = perf_counter() - t0
-            busy += elapsed
-            unit_seconds.observe(elapsed)
-            if progress is not None:
-                progress(done, total)
-        _record_fanout(reg, busy, perf_counter() - start, 1)
-        return results
-    wrapped = partial(_instrumented_unit, bound)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(wrapped, item) for item in items]
-        if progress is not None:
-            pending = set(futures)
-            done = 0
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                done += len(finished)
-                progress(done, total)
-        outs = [f.result() for f in futures]
-    wall = perf_counter() - start
-    results = []
-    busy = 0.0
-    for out, snap in outs:
-        busy += snap["histograms"].get("engine.unit_seconds", {}).get("sum", 0.0)
-        reg.merge_snapshot(snap)
-        results.append(out)
-    _record_fanout(reg, busy, wall, workers)
-    return results
+    results = _map_core(
+        fn, items, workers, progress, retry, unit_timeout, True, RunErrors(), kwargs
+    )
+    return cast(List[R], results)
+
+
+def resilient_map(
+    fn: Callable[..., R],
+    items: Iterable[T],
+    workers: int,
+    progress: Optional[Callable[[int, int], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    unit_timeout: Optional[float] = None,
+    errors: Optional[RunErrors] = None,
+    **kwargs: Any,
+) -> Tuple[List[Optional[R]], RunErrors]:
+    """:func:`parallel_map` that captures unit failures instead of raising.
+
+    Returns ``(results, errors)``: ``results`` preserves submission order
+    with ``None`` at the index of every unit that failed permanently, and
+    ``errors`` accounts for each failure, retry, timeout, and pool break
+    (appended to the caller-provided ``errors`` when given).
+    """
+    errs = errors if errors is not None else RunErrors()
+    results = _map_core(fn, items, workers, progress, retry, unit_timeout, False, errs, kwargs)
+    return cast(List[Optional[R]], results), errs
 
 
 @dataclass
@@ -141,6 +451,9 @@ class EngineResult:
     """Results of one engine run.
 
     ``per_volume`` maps ``analyzer name -> {volume_id: finalized result}``.
+    ``errors`` is the run's fault ledger (see
+    :class:`~repro.resilience.RunErrors`); under ``on_error="strict"``
+    with no retries it is always clean.
     """
 
     per_volume: Dict[str, Dict[str, Any]]
@@ -148,6 +461,7 @@ class EngineResult:
     n_units: int = 0
     workers: int = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    errors: RunErrors = field(default_factory=RunErrors)
 
     def analyzer(self, name: str) -> Dict[str, Any]:
         """All per-volume results of one analyzer, keyed by volume id."""
@@ -190,10 +504,28 @@ def _fold_chunks(analyzers: Sequence[Analyzer], chunks: Iterable[Chunk]) -> _Sta
 
 
 def _fold_file(
-    path: str, analyzers: Sequence[Analyzer], fmt: str, chunk_size: int
-) -> _StateMap:
-    """Worker unit: fold one trace file (all analyzers, one parse)."""
-    return _fold_chunks(analyzers, iter_chunks(path, fmt=fmt, chunk_size=chunk_size))
+    path: str,
+    analyzers: Sequence[Analyzer],
+    fmt: str,
+    chunk_size: int,
+    on_error: str = ON_ERROR_STRICT,
+) -> Tuple[_StateMap, Optional[ParseErrors]]:
+    """Worker unit: fold one trace file (all analyzers, one parse).
+
+    Under a non-strict error policy malformed lines are dropped at parse
+    time and accounted in the returned :class:`ParseErrors` (None when
+    the file was clean).
+    """
+    if on_error == ON_ERROR_STRICT:
+        return _fold_chunks(analyzers, iter_chunks(path, fmt=fmt, chunk_size=chunk_size)), None
+    parse_errors = ParseErrors()
+    states = _fold_chunks(
+        analyzers,
+        iter_chunks(
+            path, fmt=fmt, chunk_size=chunk_size, on_error=on_error, errors=parse_errors
+        ),
+    )
+    return states, parse_errors if parse_errors.dropped else None
 
 
 def _fold_volume(
@@ -227,6 +559,7 @@ def _finalize(
     n_units: int,
     workers: int,
     chunk_size: int,
+    errors: Optional[RunErrors] = None,
 ) -> EngineResult:
     names = [a.name for a in analyzers]
     if len(set(names)) != len(names):
@@ -244,6 +577,7 @@ def _finalize(
         n_units=n_units,
         workers=workers,
         chunk_size=chunk_size,
+        errors=errors if errors is not None else RunErrors(),
     )
 
 
@@ -254,6 +588,9 @@ def run_files(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    on_error: str = ON_ERROR_STRICT,
+    retry: Optional[RetryPolicy] = None,
+    unit_timeout: Optional[float] = None,
 ) -> EngineResult:
     """Run analyzers over trace files, one parse per file.
 
@@ -261,21 +598,44 @@ def run_files(
     ``workers > 1``) and their per-volume partial states merged in the
     order of ``paths`` — callers must pass files in time order when a
     volume spans several files (sorted directory listings satisfy this for
-    the repo's writers).  ``progress(done, total)`` fires per completed
+    the repo's writers).  ``progress(done, total)`` fires per terminal
     unit (see :func:`parallel_map`).
+
+    Fault tolerance: ``on_error`` governs malformed lines (see
+    :mod:`repro.resilience`) and, when non-strict, also tolerates units
+    that fail permanently — their files are skipped and accounted in
+    ``EngineResult.errors``.  ``retry`` / ``unit_timeout`` govern
+    unit-level recovery at any policy.
     """
+    on_error = validate_on_error(on_error)
     paths = list(paths)
-    partials = parallel_map(
+    errors = RunErrors(policy=on_error)
+    pairs = _map_core(
         _fold_file,
         paths,
         workers,
-        progress=progress,
-        analyzers=list(analyzers),
-        fmt=fmt,
-        chunk_size=chunk_size,
+        progress,
+        retry,
+        unit_timeout,
+        on_error == ON_ERROR_STRICT,
+        errors,
+        {
+            "analyzers": list(analyzers),
+            "fmt": fmt,
+            "chunk_size": chunk_size,
+            "on_error": on_error,
+        },
     )
-    merged = _merge_states(analyzers, partials)
-    return _finalize(analyzers, merged, len(paths), workers, chunk_size)
+    state_parts: List[_StateMap] = []
+    for pair in pairs:
+        if pair is None:
+            continue
+        states, parse_errors = pair
+        if parse_errors is not None:
+            errors.absorb_parse(parse_errors)
+        state_parts.append(states)
+    merged = _merge_states(analyzers, state_parts)
+    return _finalize(analyzers, merged, len(paths), workers, chunk_size, errors)
 
 
 def run_dataset(
@@ -284,19 +644,33 @@ def run_dataset(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    on_error: str = ON_ERROR_STRICT,
+    retry: Optional[RetryPolicy] = None,
+    unit_timeout: Optional[float] = None,
 ) -> EngineResult:
-    """Run analyzers over an in-memory dataset, one volume per unit."""
+    """Run analyzers over an in-memory dataset, one volume per unit.
+
+    Record-level error policies do not apply (the dataset is already
+    parsed), but a non-strict ``on_error`` still tolerates permanently
+    failed units, and ``retry`` / ``unit_timeout`` govern recovery.
+    """
+    on_error = validate_on_error(on_error)
     volumes = [v for _, v in sorted(dataset.items()) if len(v)]
-    partials = parallel_map(
+    errors = RunErrors(policy=on_error)
+    partials = _map_core(
         _fold_volume,
         volumes,
         workers,
-        progress=progress,
-        analyzers=list(analyzers),
-        chunk_size=chunk_size,
+        progress,
+        retry,
+        unit_timeout,
+        on_error == ON_ERROR_STRICT,
+        errors,
+        {"analyzers": list(analyzers), "chunk_size": chunk_size},
     )
-    merged = _merge_states(analyzers, partials)
-    return _finalize(analyzers, merged, len(volumes), workers, chunk_size)
+    state_parts = [states for states in partials if states is not None]
+    merged = _merge_states(analyzers, state_parts)
+    return _finalize(analyzers, merged, len(volumes), workers, chunk_size, errors)
 
 
 def run(
@@ -306,6 +680,9 @@ def run(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    on_error: str = ON_ERROR_STRICT,
+    retry: Optional[RetryPolicy] = None,
+    unit_timeout: Optional[float] = None,
 ) -> EngineResult:
     """Run analyzers over a trace directory, file list, or dataset.
 
@@ -317,14 +694,24 @@ def run(
         fmt: trace file format for path sources.
         chunk_size: rows per parsed batch.
         workers: process-pool width; ``1`` runs sequentially.
-        progress: optional ``(done, total)`` per-unit completion callback.
+        progress: optional ``(done, total)`` per-unit terminal callback.
+        on_error: record-level error policy — ``"strict"`` (raise on the
+            first malformed line), ``"skip"`` (drop and count), or
+            ``"quarantine"`` (drop, count, and sample into
+            ``EngineResult.errors``).
+        retry: optional :class:`~repro.resilience.RetryPolicy` for
+            unit-level recovery.
+        unit_timeout: optional per-unit wall-clock budget (pooled
+            execution only).
     """
     if isinstance(source, TraceDataset):
         return run_dataset(
-            source, analyzers, chunk_size=chunk_size, workers=workers, progress=progress
+            source, analyzers, chunk_size=chunk_size, workers=workers, progress=progress,
+            on_error=on_error, retry=retry, unit_timeout=unit_timeout,
         )
     if isinstance(source, str):
         source = list_trace_files(source)
     return run_files(
-        source, analyzers, fmt=fmt, chunk_size=chunk_size, workers=workers, progress=progress
+        source, analyzers, fmt=fmt, chunk_size=chunk_size, workers=workers,
+        progress=progress, on_error=on_error, retry=retry, unit_timeout=unit_timeout,
     )

@@ -1,0 +1,226 @@
+"""repro.faults — deterministic fault injection for chaos testing.
+
+Real fleets fail in ways unit fixtures rarely exercise: a corrupt row in
+the middle of a million-line file, a worker process dying mid-unit, a
+straggler that never returns.  This module injects exactly those faults,
+*deterministically*, so the resilience layer's core promise — bit-identical
+results under ``skip`` / ``quarantine`` at any worker count — can be
+proven by tests and CI chaos drills rather than asserted.
+
+A :class:`FaultPlan` is a frozen, JSON-serializable description of what
+to break:
+
+* **parse corruption** — each data line is corrupted with probability
+  ``corrupt_rate``, decided by a seeded hash of ``(seed, file basename,
+  line number)``.  The same lines corrupt at any chunk size or worker
+  count, and the same lines corrupt again on the next run.
+* **worker faults** — units matching ``crash_units`` (by index or label)
+  raise :class:`InjectedFault` (``crash_kind="raise"``) or kill their own
+  process with SIGKILL (``crash_kind="kill"``, forcing a
+  ``BrokenProcessPool``) while ``attempt <= crash_attempts``, so a retry
+  or an in-process re-execution recovers them.
+* **slow units** — units matching ``slow_units`` sleep ``slow_seconds``
+  while ``attempt <= slow_attempts``, for exercising ``unit_timeout``.
+
+Activation is either explicit (:func:`activate`, used by tests) or via
+the ``REPRO_FAULTS`` environment variable naming a plan JSON file — the
+CLI's ``--faults`` flag sets both, so pool workers inherit the plan under
+``fork`` *and* ``spawn`` start methods.  With no plan active every hook
+is a cheap ``None``/no-op check, so the engine pays nothing in
+production.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import zlib
+from dataclasses import asdict, dataclass
+from time import sleep
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from .obs import metrics
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "InjectedFault",
+    "activate",
+    "deactivate",
+    "active_plan",
+    "load_plan",
+    "save_plan",
+    "line_corruptor",
+    "inject_unit_fault",
+]
+
+#: Environment variable naming a JSON fault-plan file to auto-activate.
+ENV_VAR = "REPRO_FAULTS"
+
+_UNIT_MATCH = Union[int, str]
+
+
+class InjectedFault(RuntimeError):
+    """An artificial worker failure raised by an active fault plan."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seeded description of the faults to inject.
+
+    Plain frozen data: picklable (crosses the process pool intact) and
+    JSON round-trippable (:func:`load_plan` / :func:`save_plan`).
+    """
+
+    corrupt_rate: float = 0.0
+    corrupt_seed: int = 0
+    corrupt_files: Optional[Tuple[str, ...]] = None  # basenames; None = all
+    crash_units: Tuple[_UNIT_MATCH, ...] = ()
+    crash_attempts: int = 1
+    crash_kind: str = "raise"  # "raise" | "kill"
+    slow_units: Tuple[_UNIT_MATCH, ...] = ()
+    slow_seconds: float = 0.0
+    slow_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError("corrupt_rate must be in [0, 1]")
+        if self.crash_kind not in ("raise", "kill"):
+            raise ValueError(f"crash_kind must be 'raise' or 'kill', got {self.crash_kind!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["crash_units"] = list(self.crash_units)
+        payload["slow_units"] = list(self.slow_units)
+        if self.corrupt_files is not None:
+            payload["corrupt_files"] = list(self.corrupt_files)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields: {sorted(unknown)}")
+        data = dict(payload)
+        for key in ("crash_units", "slow_units"):
+            if key in data:
+                data[key] = tuple(data[key])
+        if data.get("corrupt_files") is not None:
+            data["corrupt_files"] = tuple(data["corrupt_files"])
+        return cls(**data)
+
+
+def load_plan(path: str) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return FaultPlan.from_dict(json.load(fh))
+
+
+def save_plan(plan: FaultPlan, path: str) -> None:
+    """Write a :class:`FaultPlan` as JSON (the ``--faults`` file format)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(plan.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+_plan: Optional[FaultPlan] = None
+_env_checked = False
+
+
+def activate(plan: FaultPlan) -> None:
+    """Make ``plan`` the process-wide active fault plan."""
+    global _plan, _env_checked
+    _plan = plan
+    _env_checked = True
+
+
+def deactivate() -> None:
+    """Clear the active plan (and forget any env-var activation)."""
+    global _plan, _env_checked
+    _plan = None
+    _env_checked = True
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The active plan, loading ``$REPRO_FAULTS`` once if set.
+
+    Pool workers started with ``spawn`` import this module fresh; the
+    env-var path is what carries the plan across that boundary.
+    """
+    global _plan, _env_checked
+    if not _env_checked:
+        _env_checked = True
+        path = os.environ.get(ENV_VAR)
+        if path:
+            _plan = load_plan(path)
+    return _plan
+
+
+def _reset_for_tests() -> None:
+    """Forget all activation state (test isolation helper)."""
+    global _plan, _env_checked
+    _plan = None
+    _env_checked = False
+
+
+def _matches(targets: Tuple[_UNIT_MATCH, ...], label: str, index: int) -> bool:
+    return any(t == index if isinstance(t, int) else t == label for t in targets)
+
+
+def _corrupt_decision(seed: int, basename: str, lineno: int, rate: float) -> bool:
+    digest = zlib.crc32(f"{seed}|{basename}|{lineno}".encode("utf-8"))
+    return digest / 2**32 < rate
+
+
+def line_corruptor(path: str) -> Optional[Callable[[int, str], str]]:
+    """A per-file line corruptor, or None when no corruption applies.
+
+    The returned callable maps ``(lineno, line) -> line``, corrupting the
+    seeded subset of lines by replacing field separators (which fails the
+    parser's field-count check while preserving the content for
+    debugging).  Resolved once per file so the per-line cost with no
+    active plan is zero.
+    """
+    plan = active_plan()
+    if plan is None or plan.corrupt_rate <= 0.0:
+        return None
+    basename = os.path.basename(path)
+    if plan.corrupt_files is not None and basename not in plan.corrupt_files:
+        return None
+    seed, rate = plan.corrupt_seed, plan.corrupt_rate
+    injected = metrics.counter("faults.injected_corrupt_lines")
+
+    def corrupt(lineno: int, line: str) -> str:
+        if not _corrupt_decision(seed, basename, lineno, rate):
+            return line
+        injected.inc()
+        return line.replace(",", ";")
+
+    return corrupt
+
+
+def inject_unit_fault(label: str, index: int, attempt: int, in_worker: bool) -> None:
+    """Fire any unit-level faults the active plan holds for this attempt.
+
+    Called by the engine at the start of every unit execution.  ``kill``
+    crashes degrade to ``raise`` outside a pool worker (``in_worker``
+    False) — killing the caller's own process would take the run down,
+    not exercise recovery.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if (
+        plan.slow_seconds > 0.0
+        and attempt <= plan.slow_attempts
+        and _matches(plan.slow_units, label, index)
+    ):
+        metrics.counter("faults.injected_slow_units").inc()
+        sleep(plan.slow_seconds)
+    if attempt <= plan.crash_attempts and _matches(plan.crash_units, label, index):
+        metrics.counter("faults.injected_unit_faults").inc()
+        if plan.crash_kind == "kill" and in_worker:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise InjectedFault(f"injected fault for unit {label!r} (attempt {attempt})")

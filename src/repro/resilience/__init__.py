@@ -1,0 +1,58 @@
+"""repro.resilience — fault tolerance for the analysis engine.
+
+A production trace fleet is never perfectly clean: files carry malformed
+rows, workers crash, machines stall.  This package is the engine's
+account-for-everything degradation layer:
+
+* :mod:`~repro.resilience.policy` — the ``strict`` / ``skip`` /
+  ``quarantine`` record-level error policies and the deterministic
+  :class:`RetryPolicy` for unit-level recovery.
+* :mod:`~repro.resilience.report` — the structured error ledger
+  (:class:`RunErrors`, :class:`UnitFailure`, :class:`QuarantineRecord`)
+  that a resilient run returns alongside its results, merged in
+  deterministic submission order at any worker count.
+
+The engine (:mod:`repro.engine.runner`, :mod:`repro.engine.chunks`)
+threads these through every fan-out; the CLI exposes them as
+``--on-error`` / ``--quarantine-out`` / ``--max-retries`` /
+``--unit-timeout`` / ``--errors-out``.  Deterministic fault *injection*
+for tests and chaos drills lives in :mod:`repro.faults`.
+"""
+
+from .policy import (
+    ON_ERROR_CHOICES,
+    ON_ERROR_QUARANTINE,
+    ON_ERROR_SKIP,
+    ON_ERROR_STRICT,
+    RetryPolicy,
+    UnitTimeoutError,
+    validate_on_error,
+)
+from .report import (
+    QUARANTINE_SAMPLE_PER_UNIT,
+    QUARANTINE_SAMPLE_TOTAL,
+    ParseErrors,
+    QuarantineRecord,
+    RunErrors,
+    UnitFailure,
+    unit_label,
+    write_quarantine_jsonl,
+)
+
+__all__ = [
+    "ON_ERROR_CHOICES",
+    "ON_ERROR_QUARANTINE",
+    "ON_ERROR_SKIP",
+    "ON_ERROR_STRICT",
+    "RetryPolicy",
+    "UnitTimeoutError",
+    "validate_on_error",
+    "QUARANTINE_SAMPLE_PER_UNIT",
+    "QUARANTINE_SAMPLE_TOTAL",
+    "ParseErrors",
+    "QuarantineRecord",
+    "RunErrors",
+    "UnitFailure",
+    "unit_label",
+    "write_quarantine_jsonl",
+]

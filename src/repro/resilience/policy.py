@@ -1,0 +1,85 @@
+"""Error and retry policies for fault-tolerant engine execution.
+
+Two orthogonal knobs control how a run degrades under faults:
+
+* the **error policy** (``on_error``) governs *record-level* faults — a
+  malformed trace line either aborts the run (``strict``, the historical
+  behavior), is silently dropped but counted (``skip``), or is dropped,
+  counted, *and* sampled into a quarantine report with file / line number
+  / reason (``quarantine``).  Under ``skip``/``quarantine`` a *unit-level*
+  failure (a worker crash that survives its retry budget) is also
+  tolerated: the unit's results are omitted and the failure recorded in
+  :class:`~repro.resilience.report.RunErrors` instead of raising.
+* the **retry policy** governs *unit-level* faults — a crashed or
+  timed-out worker unit is re-executed up to ``max_retries`` times with
+  capped exponential backoff.  The backoff schedule is a pure function of
+  the attempt number (no jitter), so a retried run is as deterministic as
+  the faults that forced the retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ON_ERROR_STRICT",
+    "ON_ERROR_SKIP",
+    "ON_ERROR_QUARANTINE",
+    "ON_ERROR_CHOICES",
+    "validate_on_error",
+    "RetryPolicy",
+    "UnitTimeoutError",
+]
+
+#: Abort the run on the first malformed record (historical behavior).
+ON_ERROR_STRICT = "strict"
+#: Drop malformed records, counting them, but keep no per-line detail.
+ON_ERROR_SKIP = "skip"
+#: Drop malformed records and sample them (file/lineno/reason) for a sink.
+ON_ERROR_QUARANTINE = "quarantine"
+
+ON_ERROR_CHOICES = (ON_ERROR_STRICT, ON_ERROR_SKIP, ON_ERROR_QUARANTINE)
+
+
+def validate_on_error(value: str) -> str:
+    """Return ``value`` if it is a known error policy, else raise."""
+    if value not in ON_ERROR_CHOICES:
+        raise ValueError(
+            f"unknown error policy: {value!r} (expected one of {ON_ERROR_CHOICES})"
+        )
+    return value
+
+
+class UnitTimeoutError(TimeoutError):
+    """A pooled worker unit exceeded its ``unit_timeout`` budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-unit retries with capped, deterministic backoff.
+
+    ``backoff(attempt)`` is the delay slept before re-submitting a unit
+    whose ``attempt``-th try failed: ``base * 2**(attempt-1)``, capped at
+    ``backoff_cap`` seconds.  No jitter — the schedule is a pure function
+    of the attempt number so retried runs stay reproducible.
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff parameters must be >= 0")
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep after the ``attempt``-th (1-based) failure."""
+        if attempt < 1 or self.backoff_base <= 0.0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 1)))

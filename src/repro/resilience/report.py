@@ -1,0 +1,169 @@
+"""Structured error reports: what went wrong, where, and how often.
+
+Fault tolerance is only trustworthy when every tolerated fault is
+*accounted for*.  These types are the machine-readable ledger a resilient
+run returns alongside its results:
+
+* :class:`QuarantineRecord` — one malformed trace line (file, line
+  number, parse failure reason, truncated raw text).
+* :class:`ParseErrors` — a per-unit collector of dropped lines: an exact
+  count plus a bounded sample of records.  Picklable plain data, so
+  workers ship it back with their unit results and the parent merges the
+  collectors in deterministic submission order.
+* :class:`UnitFailure` — one unit of work (a file or a volume) that
+  failed permanently after its retry budget.
+* :class:`RunErrors` — the whole run's account: failed units, dropped /
+  quarantined line counts, retry / timeout / pool-break totals, and the
+  merged quarantine sample.  ``EngineResult.errors`` is one of these.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from .policy import ON_ERROR_QUARANTINE, ON_ERROR_STRICT
+
+__all__ = [
+    "QUARANTINE_SAMPLE_PER_UNIT",
+    "QUARANTINE_SAMPLE_TOTAL",
+    "QuarantineRecord",
+    "ParseErrors",
+    "UnitFailure",
+    "RunErrors",
+    "unit_label",
+    "write_quarantine_jsonl",
+]
+
+#: Max malformed-line samples kept per worker unit (counts stay exact).
+QUARANTINE_SAMPLE_PER_UNIT = 100
+#: Max samples kept across a whole run after merging units.
+QUARANTINE_SAMPLE_TOTAL = 1000
+#: Max raw-line characters preserved in a sample record.
+_LINE_PREVIEW_CHARS = 200
+
+
+def unit_label(item: Any) -> str:
+    """A short, stable label for one unit of work.
+
+    File paths label as their basename (stable across temp directories),
+    in-memory volumes as their volume id; anything else falls back to the
+    type name plus index-free ``repr`` truncation.
+    """
+    if isinstance(item, str):
+        return os.path.basename(item) or item
+    volume_id = getattr(item, "volume_id", None)
+    if volume_id is not None:
+        return str(volume_id)
+    return type(item).__name__
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One malformed trace line, with enough context to find it again."""
+
+    file: str
+    lineno: int
+    reason: str
+    line: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class ParseErrors:
+    """Per-unit dropped-line ledger: exact count, bounded sample."""
+
+    dropped: int = 0
+    sample: List[QuarantineRecord] = field(default_factory=list)
+    sample_cap: int = QUARANTINE_SAMPLE_PER_UNIT
+
+    def record(self, file: str, lineno: int, reason: str, line: str, keep_sample: bool) -> None:
+        self.dropped += 1
+        if keep_sample and len(self.sample) < self.sample_cap:
+            self.sample.append(
+                QuarantineRecord(file, lineno, reason, line.rstrip("\n")[:_LINE_PREVIEW_CHARS])
+            )
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One unit of work that failed permanently (post-retries)."""
+
+    unit: str
+    index: int
+    kind: str  # "exception" | "timeout"
+    error: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class RunErrors:
+    """Machine-readable account of everything a run tolerated.
+
+    Merged deterministically: unit failures append in submission order,
+    parse-error collectors are absorbed in submission order, so the
+    report is identical at any worker count (given the same faults).
+    """
+
+    policy: str = ON_ERROR_STRICT
+    failed_units: List[UnitFailure] = field(default_factory=list)
+    quarantined_lines: int = 0
+    skipped_lines: int = 0
+    quarantine_sample: List[QuarantineRecord] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    pool_breaks: int = 0
+
+    @property
+    def dropped_lines(self) -> int:
+        """Total malformed lines dropped under any non-strict policy."""
+        return self.quarantined_lines + self.skipped_lines
+
+    @property
+    def ok(self) -> bool:
+        """True when the run tolerated nothing at all."""
+        return (
+            not self.failed_units
+            and self.dropped_lines == 0
+            and self.retries == 0
+            and self.timeouts == 0
+            and self.pool_breaks == 0
+        )
+
+    def absorb_parse(self, errors: ParseErrors) -> None:
+        """Fold one unit's dropped-line ledger in (submission order)."""
+        if self.policy == ON_ERROR_QUARANTINE:
+            self.quarantined_lines += errors.dropped
+            room = QUARANTINE_SAMPLE_TOTAL - len(self.quarantine_sample)
+            if room > 0:
+                self.quarantine_sample.extend(errors.sample[:room])
+        else:
+            self.skipped_lines += errors.dropped
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready report (the ``--errors-out`` payload)."""
+        return {
+            "policy": self.policy,
+            "ok": self.ok,
+            "failed_units": [f.to_dict() for f in self.failed_units],
+            "quarantined_lines": self.quarantined_lines,
+            "skipped_lines": self.skipped_lines,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_breaks": self.pool_breaks,
+            "quarantine_sample": [r.to_dict() for r in self.quarantine_sample],
+        }
+
+
+def write_quarantine_jsonl(path: str, records: Sequence[QuarantineRecord]) -> None:
+    """Write sampled quarantine records as JSON lines (one per record)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")

@@ -29,7 +29,13 @@ from .reader import (
 )
 from .record import DEFAULT_BLOCK_SIZE, SECTOR_SIZE, IORequest, OpType
 from .sampling import SampledTrace, interval_features, select_representatives
-from .validation import ValidationIssue, ValidationReport, validate_dataset, validate_volume
+from .validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_dataset,
+    validate_trace_dir,
+    validate_volume,
+)
 from .writer import write_alicloud, write_dataset_dir, write_msrc
 
 __all__ = [
@@ -59,6 +65,7 @@ __all__ = [
     "ValidationReport",
     "validate_volume",
     "validate_dataset",
+    "validate_trace_dir",
     "SampledTrace",
     "interval_features",
     "select_representatives",

@@ -9,14 +9,24 @@ once instead of failing on the first bad metric.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from .dataset import TraceDataset, VolumeTrace
 from .record import SECTOR_SIZE
 
-__all__ = ["ValidationIssue", "ValidationReport", "validate_volume", "validate_dataset"]
+__all__ = [
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_volume",
+    "validate_dataset",
+    "validate_trace_dir",
+]
+
+#: Max per-line parse issues surfaced by :func:`validate_trace_dir`
+#: (exact totals are always reported; this only bounds the detail lines).
+_MAX_PARSE_ISSUES = 20
 
 
 @dataclass(frozen=True)
@@ -99,4 +109,68 @@ def validate_dataset(dataset: TraceDataset, check_alignment: bool = False) -> Va
     report = ValidationReport()
     for trace in dataset.volumes():
         report.extend(validate_volume(trace, check_alignment=check_alignment))
+    return report
+
+
+def validate_trace_dir(
+    directory: str,
+    fmt: str = "alicloud",
+    check_alignment: bool = False,
+    chunk_size: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> ValidationReport:
+    """Preflight an on-disk trace directory before analysis.
+
+    Parses every file under the ``quarantine`` error policy — so one
+    malformed row becomes a finding instead of aborting the sweep — then
+    runs the per-volume content checks (:func:`validate_dataset`) on
+    everything that parsed.  Findings come back as one report:
+
+    * ``malformed-line`` — a row the parser rejected (file basename as
+      the volume id), at most ``_MAX_PARSE_ISSUES`` detail lines;
+    * ``malformed-lines`` — the remainder count when a dirty directory
+      exceeds the detail budget;
+    * ``unit-failed`` — a file that could not be processed at all;
+    * plus every :func:`validate_volume` code on the parsed volumes.
+    """
+    import os
+
+    from ..engine.chunks import DEFAULT_CHUNK_SIZE, read_dataset_dir_chunked
+    from ..resilience import ON_ERROR_QUARANTINE, RunErrors
+
+    errors = RunErrors(policy=ON_ERROR_QUARANTINE)
+    dataset = read_dataset_dir_chunked(
+        directory,
+        fmt=fmt,
+        chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+        workers=workers,
+        progress=progress,
+        on_error=ON_ERROR_QUARANTINE,
+        errors=errors,
+    )
+    report = ValidationReport()
+    detail = errors.quarantine_sample[:_MAX_PARSE_ISSUES]
+    for record in detail:
+        report.issues.append(
+            ValidationIssue(
+                os.path.basename(record.file), "malformed-line", record.reason
+            )
+        )
+    remainder = errors.quarantined_lines - len(detail)
+    if remainder > 0:
+        report.issues.append(
+            ValidationIssue(
+                "*", "malformed-lines", f"{remainder} further malformed lines"
+            )
+        )
+    for failure in errors.failed_units:
+        report.issues.append(
+            ValidationIssue(
+                failure.unit,
+                "unit-failed",
+                f"{failure.error} (after {failure.attempts} attempts)",
+            )
+        )
+    report.extend(validate_dataset(dataset, check_alignment=check_alignment))
     return report

@@ -1,0 +1,148 @@
+"""Tests for repro.faults: deterministic, plan-driven fault injection."""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """No plan active, no env leakage, before and after every test."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults._reset_for_tests()
+    yield
+    faults._reset_for_tests()
+
+
+class TestFaultPlan:
+    def test_defaults_are_inert(self):
+        plan = FaultPlan()
+        assert plan.corrupt_rate == 0.0
+        assert plan.crash_units == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(crash_kind="explode")
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(
+            corrupt_rate=0.25,
+            corrupt_seed=7,
+            corrupt_files=("a.csv",),
+            crash_units=(0, "b.csv"),
+            crash_kind="kill",
+            slow_units=(2,),
+            slow_seconds=0.5,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-plan fields"):
+            FaultPlan.from_dict({"corrupt_rate": 0.1, "typo_field": 1})
+
+    def test_save_load(self, tmp_path):
+        plan = FaultPlan(corrupt_rate=0.1, crash_units=("x.csv",))
+        path = str(tmp_path / "plan.json")
+        faults.save_plan(plan, path)
+        assert faults.load_plan(path) == plan
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert faults.active_plan() is None
+        assert faults.line_corruptor("a.csv") is None
+        faults.inject_unit_fault("a.csv", 0, 1, in_worker=False)  # no-op
+
+    def test_activate_deactivate(self):
+        plan = FaultPlan(corrupt_rate=0.5)
+        faults.activate(plan)
+        assert faults.active_plan() is plan
+        faults.deactivate()
+        assert faults.active_plan() is None
+
+    def test_env_var_activation(self, tmp_path, monkeypatch):
+        plan = FaultPlan(corrupt_rate=0.125, corrupt_seed=3)
+        path = str(tmp_path / "plan.json")
+        faults.save_plan(plan, path)
+        monkeypatch.setenv(faults.ENV_VAR, path)
+        faults._reset_for_tests()
+        assert faults.active_plan() == plan
+
+    def test_deactivate_beats_env(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "plan.json")
+        faults.save_plan(FaultPlan(corrupt_rate=1.0), path)
+        monkeypatch.setenv(faults.ENV_VAR, path)
+        faults._reset_for_tests()
+        faults.deactivate()
+        assert faults.active_plan() is None
+
+
+class TestLineCorruption:
+    def test_deterministic_line_selection(self):
+        faults.activate(FaultPlan(corrupt_rate=0.3, corrupt_seed=11))
+        corrupt = faults.line_corruptor("/tmp/any/f0.csv")
+        hits = {i for i in range(200) if corrupt(i, "a,b,c") != "a,b,c"}
+        assert hits  # some lines corrupt at rate 0.3
+        assert len(hits) < 200
+        # Same plan, different path with same basename: identical selection.
+        again = faults.line_corruptor("/elsewhere/f0.csv")
+        assert hits == {i for i in range(200) if again(i, "a,b,c") != "a,b,c"}
+
+    def test_rate_extremes(self):
+        faults.activate(FaultPlan(corrupt_rate=1.0))
+        corrupt = faults.line_corruptor("f.csv")
+        assert corrupt(1, "a,b") == "a;b"
+        faults.activate(FaultPlan(corrupt_rate=0.0))
+        assert faults.line_corruptor("f.csv") is None
+
+    def test_corrupt_files_filter(self):
+        faults.activate(FaultPlan(corrupt_rate=1.0, corrupt_files=("target.csv",)))
+        assert faults.line_corruptor("/d/other.csv") is None
+        assert faults.line_corruptor("/d/target.csv") is not None
+
+    def test_seed_changes_selection(self):
+        faults.activate(FaultPlan(corrupt_rate=0.3, corrupt_seed=1))
+        first = {
+            i for i in range(300) if faults.line_corruptor("f.csv")(i, "a,b") != "a,b"
+        }
+        faults.activate(FaultPlan(corrupt_rate=0.3, corrupt_seed=2))
+        second = {
+            i for i in range(300) if faults.line_corruptor("f.csv")(i, "a,b") != "a,b"
+        }
+        assert first != second
+
+
+class TestUnitFaults:
+    def test_crash_by_index_and_label(self):
+        faults.activate(FaultPlan(crash_units=(1, "x.csv")))
+        with pytest.raises(InjectedFault):
+            faults.inject_unit_fault("a.csv", 1, 1, in_worker=False)
+        with pytest.raises(InjectedFault):
+            faults.inject_unit_fault("x.csv", 5, 1, in_worker=False)
+        faults.inject_unit_fault("a.csv", 0, 1, in_worker=False)  # no match
+
+    def test_crash_stops_after_budget(self):
+        faults.activate(FaultPlan(crash_units=(0,), crash_attempts=2))
+        for attempt in (1, 2):
+            with pytest.raises(InjectedFault):
+                faults.inject_unit_fault("a.csv", 0, attempt, in_worker=False)
+        faults.inject_unit_fault("a.csv", 0, 3, in_worker=False)  # recovered
+
+    def test_kill_degrades_to_raise_in_process(self):
+        faults.activate(FaultPlan(crash_units=(0,), crash_kind="kill"))
+        with pytest.raises(InjectedFault):
+            faults.inject_unit_fault("a.csv", 0, 1, in_worker=False)
+
+    def test_slow_unit_sleeps(self):
+        faults.activate(FaultPlan(slow_units=(0,), slow_seconds=0.05))
+        start = time.perf_counter()
+        faults.inject_unit_fault("a.csv", 0, 1, in_worker=False)
+        assert time.perf_counter() - start >= 0.05
+        start = time.perf_counter()
+        faults.inject_unit_fault("a.csv", 1, 1, in_worker=False)  # no match
+        assert time.perf_counter() - start < 0.05

@@ -1,0 +1,150 @@
+"""Tests for repro.resilience: error policies, retry schedule, reports."""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    ON_ERROR_CHOICES,
+    ON_ERROR_QUARANTINE,
+    ON_ERROR_SKIP,
+    ON_ERROR_STRICT,
+    QUARANTINE_SAMPLE_TOTAL,
+    ParseErrors,
+    QuarantineRecord,
+    RetryPolicy,
+    RunErrors,
+    UnitFailure,
+    UnitTimeoutError,
+    unit_label,
+    validate_on_error,
+    write_quarantine_jsonl,
+)
+
+
+class TestPolicy:
+    def test_choices(self):
+        assert ON_ERROR_CHOICES == ("strict", "skip", "quarantine")
+
+    @pytest.mark.parametrize("value", ON_ERROR_CHOICES)
+    def test_validate_accepts(self, value):
+        assert validate_on_error(value) == value
+
+    def test_validate_rejects(self):
+        with pytest.raises(ValueError, match="unknown error policy"):
+            validate_on_error("ignore")
+
+    def test_unit_timeout_is_timeout(self):
+        assert issubclass(UnitTimeoutError, TimeoutError)
+
+
+class TestRetryPolicy:
+    def test_max_attempts(self):
+        assert RetryPolicy().max_attempts == 1
+        assert RetryPolicy(max_retries=3).max_attempts == 4
+
+    def test_backoff_schedule_deterministic_and_capped(self):
+        policy = RetryPolicy(max_retries=5, backoff_base=0.1, backoff_cap=0.5)
+        schedule = [policy.backoff(a) for a in range(1, 6)]
+        assert schedule == [0.1, 0.2, 0.4, 0.5, 0.5]
+        assert schedule == [policy.backoff(a) for a in range(1, 6)]
+
+    def test_zero_base_never_sleeps(self):
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0)
+        assert policy.backoff(1) == 0.0
+        assert policy.backoff(10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.1)
+
+
+class TestUnitLabel:
+    def test_path_is_basename(self):
+        assert unit_label("/tmp/xyz/trace-3.csv") == "trace-3.csv"
+
+    def test_volume_object(self):
+        class Vol:
+            volume_id = "v7"
+
+        assert unit_label(Vol()) == "v7"
+
+    def test_fallback_type_name(self):
+        assert unit_label(42) == "int"
+
+
+class TestParseErrors:
+    def test_counts_exact_sample_bounded(self):
+        errors = ParseErrors(sample_cap=2)
+        for lineno in range(5):
+            errors.record("f.csv", lineno, "bad", "raw,line", keep_sample=True)
+        assert errors.dropped == 5
+        assert len(errors.sample) == 2
+        assert errors.sample[0] == QuarantineRecord("f.csv", 0, "bad", "raw,line")
+
+    def test_no_sample_when_skipping(self):
+        errors = ParseErrors()
+        errors.record("f.csv", 1, "bad", "x", keep_sample=False)
+        assert errors.dropped == 1
+        assert errors.sample == []
+
+    def test_line_preview_truncated(self):
+        errors = ParseErrors()
+        errors.record("f.csv", 1, "bad", "y" * 5000 + "\n", keep_sample=True)
+        assert len(errors.sample[0].line) == 200
+
+
+class TestRunErrors:
+    def test_ok_when_untouched(self):
+        assert RunErrors().ok
+
+    def test_absorb_quarantine_counts_and_samples(self):
+        run_errors = RunErrors(policy=ON_ERROR_QUARANTINE)
+        unit = ParseErrors()
+        unit.record("f.csv", 3, "bad", "line", keep_sample=True)
+        run_errors.absorb_parse(unit)
+        assert run_errors.quarantined_lines == 1
+        assert run_errors.skipped_lines == 0
+        assert run_errors.dropped_lines == 1
+        assert len(run_errors.quarantine_sample) == 1
+        assert not run_errors.ok
+
+    def test_absorb_skip_counts_only(self):
+        run_errors = RunErrors(policy=ON_ERROR_SKIP)
+        unit = ParseErrors()
+        unit.record("f.csv", 3, "bad", "line", keep_sample=False)
+        run_errors.absorb_parse(unit)
+        assert run_errors.skipped_lines == 1
+        assert run_errors.quarantine_sample == []
+
+    def test_global_sample_cap(self):
+        run_errors = RunErrors(policy=ON_ERROR_QUARANTINE)
+        unit = ParseErrors(sample_cap=10**9)
+        for lineno in range(QUARANTINE_SAMPLE_TOTAL + 50):
+            unit.record("f.csv", lineno, "bad", "x", keep_sample=True)
+        run_errors.absorb_parse(unit)
+        assert run_errors.quarantined_lines == QUARANTINE_SAMPLE_TOTAL + 50
+        assert len(run_errors.quarantine_sample) == QUARANTINE_SAMPLE_TOTAL
+
+    def test_to_dict_round_trips_through_json(self):
+        run_errors = RunErrors(policy=ON_ERROR_STRICT)
+        run_errors.failed_units.append(UnitFailure("f.csv", 0, "exception", "boom", 2))
+        run_errors.retries = 1
+        payload = json.loads(json.dumps(run_errors.to_dict()))
+        assert payload["ok"] is False
+        assert payload["failed_units"][0]["unit"] == "f.csv"
+        assert payload["retries"] == 1
+
+
+def test_write_quarantine_jsonl(tmp_path):
+    records = [
+        QuarantineRecord("a.csv", 1, "bad", "x,y"),
+        QuarantineRecord("b.csv", 9, "worse", "z"),
+    ]
+    path = str(tmp_path / "quarantine.jsonl")
+    write_quarantine_jsonl(path, records)
+    lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+    assert [entry["file"] for entry in lines] == ["a.csv", "b.csv"]
+    assert lines[1]["lineno"] == 9

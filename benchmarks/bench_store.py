@@ -1,0 +1,195 @@
+"""Trace store (mmap columnar cache) vs text parsing on a synthetic fleet.
+
+Standalone benchmark (not pytest): generates an AliCloud-format fleet,
+writes it to trace files once, then times the two ways the engine can
+get columns out of those files:
+
+* ``text`` — the chunked text path: decode lines, split fields, cast
+  ints, on every run.
+* ``store`` — :mod:`repro.store`: ``ingest`` parses once into ``.npy``
+  segments; warm runs serve ``Chunk`` views straight off
+  ``np.load(..., mmap_mode="r")`` with zero text parsing.
+
+Both paths are timed through :func:`repro.engine.read_dataset_dir_chunked`
+at each requested worker count, and the resulting datasets are checked
+for bit-identity (every column of every volume) before any number is
+reported — a speedup that changed the answer would not count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py             # full (~1M requests)
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke     # CI-sized
+    PYTHONPATH=src python benchmarks/bench_store.py --json out.json
+
+``--json PATH`` additionally writes machine-readable records — one per
+timed configuration with ``name`` / ``n_requests`` / ``seconds`` /
+``requests_per_second`` — plus the headline ``speedup_warm_vs_text``
+ratio (the ISSUE's acceptance bar is >= 5x at workers=1).
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+
+def _generate(directory: str, n_volumes: int, day_seconds: float, n_days: int) -> int:
+    from repro.synth import Scale, make_alicloud_fleet
+    from repro.trace import write_dataset_dir
+
+    scale = Scale(n_days=n_days, day_seconds=day_seconds)
+    fleet = make_alicloud_fleet(n_volumes=n_volumes, seed=0, scale=scale)
+    write_dataset_dir(fleet, directory, fmt="alicloud")
+    return fleet.n_requests
+
+
+def _read(directory: str, workers: int, chunk_size: int, store=None):
+    from repro.engine import read_dataset_dir_chunked
+
+    return read_dataset_dir_chunked(
+        directory, fmt="alicloud", chunk_size=chunk_size,
+        workers=workers, store=store,
+    )
+
+
+def _ingest(directory: str, store_dir: str, workers: int, chunk_size: int):
+    from repro.store import ingest_dir
+
+    return ingest_dir(
+        directory, fmt="alicloud", store_dir=store_dir,
+        chunk_size=chunk_size, workers=workers,
+    )
+
+
+def _assert_identical(text_ds, store_ds, label: str) -> None:
+    assert sorted(text_ds.volume_ids()) == sorted(store_ds.volume_ids()), label
+    for vid in text_ds.volume_ids():
+        a, b = text_ds[vid], store_ds[vid]
+        for column in ("timestamps", "offsets", "sizes", "is_write"):
+            assert np.array_equal(getattr(a, column), getattr(b, column)), (
+                f"{label}: {vid}.{column} differs"
+            )
+        ra, rb = a.response_times, b.response_times
+        assert (ra is None) == (rb is None), f"{label}: {vid}.response_times presence"
+        if ra is not None:
+            assert np.array_equal(ra, rb, equal_nan=True), (
+                f"{label}: {vid}.response_times differs"
+            )
+
+
+def _record(name: str, n_requests: int, seconds: float) -> dict:
+    return {
+        "name": name,
+        "n_requests": n_requests,
+        "seconds": round(seconds, 6),
+        "requests_per_second": round(n_requests / seconds, 1) if seconds > 0 else None,
+    }
+
+
+def _timed(label: str, fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    print(f"  {label:<28} {elapsed:8.3f} s")
+    return elapsed, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick run")
+    parser.add_argument("--volumes", type=int, default=None)
+    parser.add_argument("--days", type=int, default=None)
+    parser.add_argument("--day-seconds", type=float, default=None)
+    parser.add_argument("--chunk-size", type=int, default=65536)
+    parser.add_argument("--workers", type=int, nargs="*", default=[1, 4])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write machine-readable timing records to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_volumes, n_days, day_seconds = 6, 2, 60.0
+    else:
+        # ~1M+ requests: the acceptance-criteria scale.
+        n_volumes, n_days, day_seconds = 60, 31, 240.0
+    n_volumes = args.volumes or n_volumes
+    n_days = args.days or n_days
+    day_seconds = args.day_seconds or day_seconds
+
+    from repro.store import StoreConfig
+
+    with tempfile.TemporaryDirectory(prefix="bench_store_") as tmp:
+        directory = os.path.join(tmp, "fleet")
+        os.mkdir(directory)
+        print(f"generating fleet: {n_volumes} volumes x {n_days} days ...")
+        n_requests = _generate(directory, n_volumes, day_seconds, n_days)
+        print(f"fleet: {n_requests} requests in {len(os.listdir(directory))} files\n")
+        store = StoreConfig(dir=os.path.join(tmp, "store"))
+
+        records = []
+        text_times = {}
+        warm_times = {}
+        print("timings:")
+        for workers in args.workers:
+            label = f"text parse workers={workers}"
+            elapsed, _ = _timed(label, _read, directory, workers, args.chunk_size)
+            text_times[workers] = elapsed
+            records.append(_record(label, n_requests, elapsed))
+
+        ingest_workers = max(args.workers)
+        elapsed, reports = _timed(
+            f"ingest (parse once) workers={ingest_workers}",
+            _ingest, directory, store.dir, ingest_workers, args.chunk_size,
+        )
+        assert all(r.built for r in reports)
+        records.append(_record(f"ingest workers={ingest_workers}", n_requests, elapsed))
+        store_bytes = sum(
+            os.path.getsize(os.path.join(root, f))
+            for root, _, files in os.walk(store.dir)
+            for f in files
+        )
+        print(f"  store size: {store_bytes / 1e6:.1f} MB on disk")
+
+        text_ds = _read(directory, 1, args.chunk_size)
+        for workers in args.workers:
+            label = f"store warm workers={workers}"
+            elapsed, store_ds = _timed(
+                label, _read, directory, workers, args.chunk_size, store=store
+            )
+            warm_times[workers] = elapsed
+            records.append(_record(label, n_requests, elapsed))
+            _assert_identical(text_ds, store_ds, label)
+        print("  bit-identity: text vs store verified at every worker count")
+
+        print("\nwarm store speedup vs text parse:")
+        for workers in args.workers:
+            ratio = text_times[workers] / warm_times[workers]
+            print(f"  workers={workers}: {ratio:5.2f}x")
+        headline = text_times[args.workers[0]] / warm_times[args.workers[0]]
+
+        if args.json:
+            payload = {
+                "benchmark": "bench_store",
+                "n_volumes": n_volumes,
+                "n_days": n_days,
+                "day_seconds": day_seconds,
+                "chunk_size": args.chunk_size,
+                "n_requests": n_requests,
+                "store_bytes": store_bytes,
+                "speedup_warm_vs_text": round(headline, 3),
+                "results": records,
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"\nwrote {len(records)} timing records to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

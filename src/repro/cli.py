@@ -3,9 +3,16 @@
 Subcommands:
 
 * ``repro generate`` — write a synthetic fleet to trace files.
+* ``repro ingest`` — parse traces once into the mmap columnar store.
 * ``repro analyze`` — per-volume profiles of a trace directory (JSON).
 * ``repro report`` — fleet-level summary tables for one dataset.
 * ``repro findings`` — evaluate the paper's 15 findings on two fleets.
+
+Trace store (see :mod:`repro.store`): engine-backed subcommands accept
+``--store`` / ``--no-store`` / ``--store-dir DIR`` to serve parsed
+columns from the memory-mapped store instead of re-parsing text —
+entries are built transparently on first use, or ahead of time with
+``repro ingest``.  Results are bit-identical either way.
 
 Observability (see :mod:`repro.obs`): command *results* go to stdout,
 every status line goes through the structured logger on stderr
@@ -56,6 +63,7 @@ from .resilience import (
     RunErrors,
     write_quarantine_jsonl,
 )
+from .store import StoreConfig
 from .synth import alicloud_scale, make_alicloud_fleet, make_msrc_fleet, msrc_scale
 from .trace import write_dataset_dir
 
@@ -64,8 +72,28 @@ __all__ = ["main", "build_parser"]
 _log = get_logger("repro.cli")
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """The trace-store knobs (see repro.store)."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--store", action="store_true", default=None, dest="store",
+        help="serve parsed columns from the mmap trace store, building "
+        "entries transparently on first use (see 'repro ingest')",
+    )
+    group.add_argument(
+        "--no-store", action="store_false", dest="store",
+        help="force text parsing even when store entries exist",
+    )
+    parser.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="store location (implies --store; default: .repro-store "
+        "next to the trace files)",
+    )
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """The shared execution-engine knobs (see repro.engine / repro.obs)."""
+    _add_store_flags(parser)
     parser.add_argument(
         "--workers", type=int, default=1,
         help="process-pool width for per-file/per-volume fan-out (default: 1, sequential)",
@@ -140,6 +168,46 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--days", type=int, default=None, help="trace days")
     gen.add_argument("--day-seconds", type=float, default=240.0, help="seconds per compressed day")
     gen.add_argument("--compress", action="store_true", help="gzip the trace files")
+
+    ing = sub.add_parser(
+        "ingest",
+        help="parse trace files once into the mmap columnar store "
+        "(later runs with --store skip text parsing entirely)",
+    )
+    ing.add_argument("trace_dir", help="directory of .csv/.csv.gz trace files")
+    ing.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
+    ing.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="store location (default: .repro-store next to the trace files)",
+    )
+    ing.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for per-file fan-out (default: 1)",
+    )
+    ing.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help=f"trace rows parsed per columnar batch (default: {DEFAULT_CHUNK_SIZE})",
+    )
+    ing.add_argument(
+        "--on-error", choices=ON_ERROR_CHOICES, default="quarantine",
+        help="malformed-record policy recorded in the entry's fault ledger "
+        "(default: quarantine)",
+    )
+    ing.add_argument(
+        "--force", action="store_true",
+        help="rebuild entries even when they are fresh",
+    )
+    ing.add_argument(
+        "--output", default="-", help="ingest report JSON path ('-' for stdout)"
+    )
+    ing.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a JSON metrics report of this run (enables span tracing)",
+    )
+    ing.add_argument(
+        "--progress", action="store_true",
+        help="log per-file completion on stderr as workers finish",
+    )
 
     ana = sub.add_parser("analyze", help="per-volume profiles of a trace directory")
     ana.add_argument("trace_dir", help="directory of .csv/.csv.gz trace files")
@@ -216,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="log per-unit completion on stderr as workers finish",
     )
+    _add_store_flags(val)
 
     from .checks.cli import build_lint_parser
 
@@ -281,6 +350,21 @@ def _progress_callback(args: argparse.Namespace, stage: str) -> Optional[Callabl
     return callback
 
 
+def _store_config(args: argparse.Namespace, build: bool = True) -> Optional[StoreConfig]:
+    """``--store``/``--no-store``/``--store-dir`` as a StoreConfig (or None).
+
+    ``--store-dir`` alone implies the store is on; an explicit
+    ``--no-store`` always wins.
+    """
+    enabled = getattr(args, "store", None)
+    store_dir = getattr(args, "store_dir", None)
+    if enabled is None:
+        enabled = store_dir is not None
+    if not enabled:
+        return None
+    return StoreConfig(dir=store_dir, build=build)
+
+
 def _resilience_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
     """The engine's fault-tolerance kwargs from the shared CLI flags."""
     max_retries = getattr(args, "max_retries", 0)
@@ -329,6 +413,46 @@ def _emit_error_reports(args: argparse.Namespace, errors: RunErrors) -> None:
         )
 
 
+def _ingest(args: argparse.Namespace) -> int:
+    from .store import ingest_dir
+
+    reports = ingest_dir(
+        args.trace_dir,
+        fmt=args.format,
+        store_dir=args.store_dir,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+        on_error=args.on_error,
+        force=args.force,
+        progress=_progress_callback(args, "ingest"),
+    )
+    if not reports:
+        raise FileNotFoundError(f"no trace files in {args.trace_dir!r}")
+    built = sum(r.built for r in reports)
+    payload = json.dumps(
+        {
+            "directory": args.trace_dir,
+            "files": len(reports),
+            "built": built,
+            "reused": len(reports) - built,
+            "rows": sum(r.n_rows for r in reports),
+            "dropped_lines": sum(r.dropped for r in reports),
+            "entries": [r.to_dict() for r in reports],
+        },
+        indent=2,
+    )
+    if args.output == "-":
+        print(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    _log.info(
+        "ingest_done", files=len(reports), built=built,
+        reused=len(reports) - built,
+    )
+    return 0
+
+
 def _analyze(args: argparse.Namespace) -> int:
     res = _resilience_kwargs(args)
     errors = RunErrors(policy=res["on_error"])
@@ -336,7 +460,7 @@ def _analyze(args: argparse.Namespace) -> int:
         args.trace_dir, fmt=args.format,
         chunk_size=args.chunk_size, workers=args.workers,
         progress=_progress_callback(args, "parse"),
-        errors=errors, **res,
+        errors=errors, store=_store_config(args), **res,
     )
     if res["on_error"] == ON_ERROR_STRICT:
         raw = list(
@@ -373,7 +497,7 @@ def _report(args: argparse.Namespace) -> int:
         args.trace_dir, fmt=args.format,
         chunk_size=args.chunk_size, workers=args.workers,
         progress=_progress_callback(args, "parse"),
-        errors=errors, **_resilience_kwargs(args),
+        errors=errors, store=_store_config(args), **_resilience_kwargs(args),
     )
     _emit_error_reports(args, errors)
     stats = basic_statistics(dataset, block_size=args.block_size, workers=args.workers)
@@ -404,7 +528,7 @@ def _findings(args: argparse.Namespace) -> int:
             args.ali_dir, fmt="alicloud",
             chunk_size=args.chunk_size, workers=args.workers,
             progress=_progress_callback(args, "parse-ali"),
-            errors=errors, **res,
+            errors=errors, store=_store_config(args), **res,
         )
     else:
         ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
@@ -413,7 +537,7 @@ def _findings(args: argparse.Namespace) -> int:
             args.msrc_dir, fmt="msrc",
             chunk_size=args.chunk_size, workers=args.workers,
             progress=_progress_callback(args, "parse-msrc"),
-            errors=errors, **res,
+            errors=errors, store=_store_config(args), **res,
         )
     else:
         msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
@@ -468,6 +592,7 @@ def _stream_analyze(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         workers=args.workers,
         progress=_progress_callback(args, "fold"),
+        store=_store_config(args),
         **_resilience_kwargs(args),
     )
     _emit_error_reports(args, result.errors)
@@ -519,6 +644,8 @@ def _validate(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         workers=args.workers,
         progress=_progress_callback(args, "validate"),
+        # Preflight reuses fresh entries but never builds new ones.
+        store=_store_config(args, build=False),
     )
     if report.ok:
         print("OK: no issues found")
@@ -547,6 +674,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     configure_logging(level=args.log_level, json_lines=args.log_json)
     handlers = {
         "generate": _generate,
+        "ingest": _ingest,
         "analyze": _analyze,
         "report": _report,
         "findings": _findings,

@@ -22,9 +22,12 @@ volume, preserving per-volume order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.store imports this module
+    from ..store import StoreConfig
 
 from .. import faults
 from ..obs import metrics
@@ -138,12 +141,25 @@ def _cells(lines: Sequence[str], n_fields: int) -> np.ndarray:
 
 
 def _opcode_flags(tokens: np.ndarray, read_words, write_words) -> Optional[np.ndarray]:
-    """is_write flags, or None when any token is not a recognized opcode."""
-    up = np.char.upper(np.char.strip(tokens))
-    is_write = np.isin(up, write_words)
-    if not np.all(is_write | np.isin(up, read_words)):
+    """is_write flags, or None when any token is not a recognized opcode.
+
+    A batch holds at most a handful of distinct opcode spellings, so the
+    strip/upper/isin chain runs on the *unique* tokens only (one sort of
+    the raw tokens instead of three full-size string-array allocations)
+    and the per-token flags broadcast back through the inverse index.
+    """
+    uniq, inverse = np.unique(tokens, return_inverse=True)
+    up = np.char.upper(np.char.strip(uniq))
+    is_write_u = np.isin(up, write_words)
+    if not np.all(is_write_u | np.isin(up, read_words)):
         return None
-    return is_write
+    return is_write_u[inverse]
+
+
+def _stripped_column(tokens: np.ndarray) -> np.ndarray:
+    """``np.char.strip`` evaluated on unique values only (fused fast path)."""
+    uniq, inverse = np.unique(tokens, return_inverse=True)
+    return np.char.strip(uniq)[inverse]
 
 
 class _BadBatch(Exception):
@@ -175,7 +191,7 @@ def _parse_alicloud_batch(lines: Sequence[str]):
     timestamps = _int_column(cells[:, 4]) / _MICROSECONDS_PER_SECOND
     if np.any(offsets < 0) or np.any(sizes <= 0):
         raise _BadBatch
-    volumes = np.char.strip(cells[:, 0])
+    volumes = _stripped_column(cells[:, 0])
     return volumes, timestamps, offsets, sizes, is_write, None
 
 
@@ -195,8 +211,21 @@ def _parse_msrc_batch(lines: Sequence[str]):
     response = _int_column(cells[:, 6]) / _FILETIME_TICKS_PER_SECOND
     if np.any(offsets < 0) or np.any(sizes <= 0):
         raise _BadBatch
-    hosts = np.char.strip(cells[:, 1])
-    volumes = np.char.add(np.char.add(hosts, "_"), disks.astype(np.str_))
+    # Fused volume-id construction: a batch holds few distinct
+    # (host, disk) pairs, so build each "host_disk" string once — one
+    # integer unique over pair keys instead of strip + two np.char.add
+    # passes over the whole batch.
+    uniq_hosts, host_codes = np.unique(cells[:, 1], return_inverse=True)
+    lo = int(disks.min())
+    stride = int(disks.max()) - lo + 1
+    pair_keys, pair_codes = np.unique(
+        host_codes.astype(np.int64) * stride + (disks - lo), return_inverse=True
+    )
+    stripped = np.char.strip(uniq_hosts)
+    uniq_volumes = np.array(
+        [f"{stripped[key // stride]}_{key % stride + lo}" for key in pair_keys.tolist()]
+    )
+    volumes = uniq_volumes[pair_codes]
     return volumes, timestamps, offsets, sizes, is_write, response
 
 
@@ -320,6 +349,54 @@ def _iter_line_batches(
             yield lines, linenos
 
 
+def _iter_batch_columns(
+    path: str,
+    fmt: str = "alicloud",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    skip_header: bool = True,
+    on_error: str = ON_ERROR_STRICT,
+    errors: Optional[ParseErrors] = None,
+) -> Iterator[Tuple]:
+    """Parse one file into per-batch column tuples (pre volume-split).
+
+    The shared parse core of :func:`iter_chunks` and the store builder
+    (:func:`repro.store.builder.build_entry`): fast-path batch parsing,
+    strict row-by-row fallback, and non-strict salvage all happen here,
+    so text-path chunks and store-persisted columns are produced by the
+    byte-identical machinery.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    on_error = validate_on_error(on_error)
+    try:
+        batch_parse, row_parse = _FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format: {fmt!r} (expected 'alicloud' or 'msrc')"
+        ) from None
+    reg = metrics.get_registry()
+    lines_total = reg.counter("parse.lines")
+    bytes_total = reg.counter("parse.bytes")
+    corrupt = faults.line_corruptor(path)
+    for lines, linenos in _iter_line_batches(path, chunk_size, skip_header, corrupt):
+        lines_total.inc(len(lines))
+        bytes_total.inc(sum(map(len, lines)))
+        with span("parse_batch"):
+            try:
+                columns = batch_parse(lines)
+            except _BadBatch:
+                reg.counter("parse.fallback_batches").inc()
+                reg.counter("parse.fallback_lines").inc(len(lines))
+                if on_error == ON_ERROR_STRICT:
+                    columns = _parse_batch_fallback(lines, linenos, row_parse)
+                else:
+                    columns = _parse_batch_salvage(
+                        lines, linenos, row_parse, path, on_error, errors, reg
+                    )
+        if columns is not None:
+            yield columns
+
+
 def iter_chunks(
     path: str,
     fmt: str = "alicloud",
@@ -327,6 +404,7 @@ def iter_chunks(
     skip_header: bool = True,
     on_error: str = ON_ERROR_STRICT,
     errors: Optional[ParseErrors] = None,
+    store: Optional["StoreConfig"] = None,
 ) -> Iterator[Chunk]:
     """Stream per-volume :class:`Chunk` batches from one trace file.
 
@@ -344,42 +422,32 @@ def iter_chunks(
         errors: optional :class:`~repro.resilience.ParseErrors` ledger
             that receives the exact dropped count (and sampled records
             under ``quarantine``).
+        store: optional :class:`~repro.store.StoreConfig` fast path — a
+            fresh store entry serves the identical chunk stream straight
+            from mmap (no text parsing); a miss transparently ingests the
+            file first when ``store.build`` is set.  Results are
+            bit-identical to the text path either way.
 
     Raises:
         TraceFormatError: under ``strict`` only, for malformed lines, with
             the same message and line number as the row readers.
     """
-    if chunk_size <= 0:
-        raise ValueError("chunk_size must be positive")
-    on_error = validate_on_error(on_error)
-    try:
-        batch_parse, row_parse = _FORMATS[fmt]
-    except KeyError:
-        raise ValueError(
-            f"unknown trace format: {fmt!r} (expected 'alicloud' or 'msrc')"
-        ) from None
-    reg = metrics.get_registry()
-    lines_total = reg.counter("parse.lines")
-    bytes_total = reg.counter("parse.bytes")
-    chunks_total = reg.counter("parse.chunks")
-    corrupt = faults.line_corruptor(path)
-    for lines, linenos in _iter_line_batches(path, chunk_size, skip_header, corrupt):
-        lines_total.inc(len(lines))
-        bytes_total.inc(sum(map(len, lines)))
-        with span("parse_batch"):
-            try:
-                columns = batch_parse(lines)
-            except _BadBatch:
-                reg.counter("parse.fallback_batches").inc()
-                reg.counter("parse.fallback_lines").inc(len(lines))
-                if on_error == ON_ERROR_STRICT:
-                    columns = _parse_batch_fallback(lines, linenos, row_parse)
-                else:
-                    columns = _parse_batch_salvage(
-                        lines, linenos, row_parse, path, on_error, errors, reg
-                    )
-        if columns is None:
-            continue
+    if store is not None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        from ..store import try_serve
+
+        served = try_serve(
+            path, fmt, chunk_size, skip_header, validate_on_error(on_error), errors, store
+        )
+        if served is not None:
+            yield from served
+            return
+    chunks_total = metrics.counter("parse.chunks")
+    for columns in _iter_batch_columns(
+        path, fmt=fmt, chunk_size=chunk_size, skip_header=skip_header,
+        on_error=on_error, errors=errors,
+    ):
         for chunk in _split_by_volume(columns):
             chunks_total.inc()
             yield chunk
@@ -423,17 +491,23 @@ class _VolumeColumns:
 
 
 def _read_file_columns(
-    path: str, fmt: str, chunk_size: int, on_error: str = ON_ERROR_STRICT
+    path: str,
+    fmt: str,
+    chunk_size: int,
+    on_error: str = ON_ERROR_STRICT,
+    store: Optional["StoreConfig"] = None,
 ) -> Tuple[Dict[str, "_VolumeColumns"], Optional[ParseErrors]]:
     """Parse one file into per-volume column fragments (worker unit).
 
     Returns the fragments plus the file's dropped-line ledger (None when
-    the policy is strict or the file parsed clean).
+    the policy is strict or the file parsed clean).  With ``store`` set,
+    each worker serves its file from its own store mmap when possible.
     """
     parse_errors = None if on_error == ON_ERROR_STRICT else ParseErrors()
     acc: Dict[str, _VolumeColumns] = {}
     for chunk in iter_chunks(
-        path, fmt=fmt, chunk_size=chunk_size, on_error=on_error, errors=parse_errors
+        path, fmt=fmt, chunk_size=chunk_size, on_error=on_error,
+        errors=parse_errors, store=store,
     ):
         cols = acc.get(chunk.volume_id)
         if cols is None:
@@ -460,6 +534,7 @@ def read_dataset_dir_chunked(
     retry: Optional[RetryPolicy] = None,
     unit_timeout: Optional[float] = None,
     errors: Optional[RunErrors] = None,
+    store: Optional["StoreConfig"] = None,
 ) -> TraceDataset:
     """Chunked-parse replacement for :func:`repro.trace.reader.read_dataset_dir`.
 
@@ -475,6 +550,10 @@ def read_dataset_dir_chunked(
     ``on_error`` governs malformed lines and (non-strict) permanently
     failed files, ``retry`` / ``unit_timeout`` govern unit recovery, and
     ``errors`` (when given) collects the run's fault ledger.
+
+    With ``store`` set (see :class:`~repro.store.StoreConfig`), files
+    with fresh store entries are materialized from mmap instead of text —
+    same arrays, same error accounting, no parsing.
     """
     import os
 
@@ -495,6 +574,7 @@ def read_dataset_dir_chunked(
                 fmt=fmt,
                 chunk_size=chunk_size,
                 on_error=on_error,
+                store=store,
             )
         )
     else:
@@ -509,6 +589,7 @@ def read_dataset_dir_chunked(
             fmt=fmt,
             chunk_size=chunk_size,
             on_error=on_error,
+            store=store,
         )
 
     merged: Dict[str, _VolumeColumns] = {}

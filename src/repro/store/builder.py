@@ -1,0 +1,290 @@
+"""Store ingest: parse a trace file once, persist it as columnar segments.
+
+The builder reuses the engine's exact batch parsers
+(:func:`repro.engine.chunks._iter_batch_columns` — fast path, row-by-row
+fallback, and salvage policies included), so the columns it persists are
+bit-identical to what a text-path run would have produced under the same
+error policy.  Segments land as ``.npy`` files (no pickling) inside a
+per-file entry directory; the manifest is written last and the whole
+entry is swapped into place atomically, so readers only ever see complete
+entries.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import metrics
+from ..obs.logging import get_logger
+from ..resilience import ON_ERROR_QUARANTINE, ON_ERROR_STRICT, ParseErrors, validate_on_error
+from .config import StoreConfig
+from .manifest import (
+    CODES_FILE,
+    COLUMN_FILES,
+    MANIFEST_NAME,
+    RESPONSE_FILE,
+    Manifest,
+    SourceStamp,
+    entry_dir,
+)
+
+__all__ = ["build_entry", "ingest_file", "ingest_dir", "IngestFileReport"]
+
+_log = get_logger("repro.store")
+
+
+class _ColumnBuffers:
+    """Growing file-order column fragments plus the volume-code map."""
+
+    def __init__(self) -> None:
+        self.timestamps: List[np.ndarray] = []
+        self.offsets: List[np.ndarray] = []
+        self.sizes: List[np.ndarray] = []
+        self.is_write: List[np.ndarray] = []
+        self.response: List[Optional[np.ndarray]] = []
+        self.codes: List[np.ndarray] = []
+        self.vol_index: Dict[str, int] = {}  # volume id -> first-seen code
+
+    def add(self, columns: Tuple) -> None:
+        volumes, timestamps, offsets, sizes, is_write, response = columns
+        self.timestamps.append(np.asarray(timestamps, dtype=np.float64))
+        self.offsets.append(np.asarray(offsets, dtype=np.int64))
+        self.sizes.append(np.asarray(sizes, dtype=np.int64))
+        self.is_write.append(np.asarray(is_write, dtype=bool))
+        self.response.append(
+            None if response is None else np.asarray(response, dtype=np.float64)
+        )
+        uniq, inverse = np.unique(np.asarray(volumes), return_inverse=True)
+        batch_codes = np.array(
+            [self.vol_index.setdefault(str(u), len(self.vol_index)) for u in uniq.tolist()],
+            dtype=np.int64,
+        )
+        self.codes.append(batch_codes[inverse])
+
+    def finalize(self):
+        """Concatenate fragments; remap codes to sorted-volume-id order."""
+        n = sum(len(part) for part in self.timestamps)
+        timestamps = _concat(self.timestamps, np.float64)
+        offsets = _concat(self.offsets, np.int64)
+        sizes = _concat(self.sizes, np.int64)
+        is_write = _concat(self.is_write, np.bool_)
+        response: Optional[np.ndarray] = None
+        if any(part is not None for part in self.response):
+            filled = [
+                part
+                if part is not None
+                else np.full(len(ts), np.nan, dtype=np.float64)
+                for part, ts in zip(self.response, self.timestamps)
+            ]
+            response = _concat(filled, np.float64)
+        ids = sorted(self.vol_index)
+        remap = np.empty(max(len(ids), 1), dtype=np.int64)
+        for new_code, vid in enumerate(ids):
+            remap[self.vol_index[vid]] = new_code
+        codes = remap[_concat(self.codes, np.int64)] if n else _concat(self.codes, np.int64)
+        return timestamps, offsets, sizes, is_write, response, codes, ids
+
+
+def _concat(parts: List[np.ndarray], dtype) -> np.ndarray:
+    parts = [p for p in parts if p is not None and len(p)]
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(parts)
+
+
+def _swap_into_place(tmp: str, entry: str) -> bool:
+    """Move a fully built tmp entry to its final name; False on a lost race."""
+    if os.path.isdir(entry):
+        shutil.rmtree(entry)
+    try:
+        os.rename(tmp, entry)
+    except OSError:
+        # Another process rebuilt the entry between rmtree and rename; its
+        # entry is as good as ours (same source, same key) — yield to it.
+        shutil.rmtree(tmp, ignore_errors=True)
+        return False
+    return True
+
+
+def build_entry(
+    path: str,
+    fmt: str = "alicloud",
+    store_dir: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    skip_header: bool = True,
+    on_error: str = ON_ERROR_STRICT,
+) -> Tuple[str, Manifest]:
+    """Parse ``path`` once and persist it as a store entry.
+
+    Under ``on_error="strict"`` a malformed line raises the parser's
+    exact :class:`~repro.trace.reader.TraceFormatError` and no entry is
+    written; under ``skip``/``quarantine`` the dropped-line ledger is
+    persisted in the manifest so warm runs replay exact error counts.
+
+    Returns ``(entry_dir, manifest)`` of the entry now in place (ours, or
+    a concurrent builder's equivalent one if we lost the swap race).
+    """
+    from ..engine.chunks import DEFAULT_CHUNK_SIZE, _iter_batch_columns
+
+    on_error = validate_on_error(on_error)
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    reg = metrics.get_registry()
+    start = perf_counter()
+    stamp = SourceStamp.of(path)
+    parse_errors = ParseErrors() if on_error != ON_ERROR_STRICT else None
+    fallback_before = reg.counter("parse.fallback_batches").value
+    buffers = _ColumnBuffers()
+    for columns in _iter_batch_columns(
+        path, fmt=fmt, chunk_size=chunk_size, skip_header=skip_header,
+        on_error=on_error, errors=parse_errors,
+    ):
+        buffers.add(columns)
+    timestamps, offsets, sizes, is_write, response, codes, ids = buffers.finalize()
+
+    manifest = Manifest(
+        source=stamp,
+        fmt=fmt,
+        skip_header=skip_header,
+        on_error=on_error,
+        n_rows=len(timestamps),
+        volumes=ids,
+        has_response=response is not None,
+        has_codes=len(ids) > 1,
+        dropped=parse_errors.dropped if parse_errors is not None else 0,
+        quarantine=list(parse_errors.sample) if parse_errors is not None else [],
+        fallback_batches=int(reg.counter("parse.fallback_batches").value - fallback_before),
+    )
+
+    entry = entry_dir(StoreConfig(dir=store_dir).dir_for(path), path)
+    tmp = f"{entry}.tmp-{os.getpid()}"
+    shutil.rmtree(tmp, ignore_errors=True)
+    os.makedirs(tmp)
+    try:
+        arrays = {
+            COLUMN_FILES["timestamps"]: timestamps,
+            COLUMN_FILES["offsets"]: offsets,
+            COLUMN_FILES["sizes"]: sizes,
+            COLUMN_FILES["is_write"]: is_write,
+        }
+        if response is not None:
+            arrays[RESPONSE_FILE] = response
+        if manifest.has_codes:
+            arrays[CODES_FILE] = codes
+        written = 0
+        for filename, array in arrays.items():
+            target = os.path.join(tmp, filename)
+            with open(target, "wb") as fh:
+                np.save(fh, array, allow_pickle=False)
+            written += os.path.getsize(target)
+        with open(os.path.join(tmp, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+            fh.write(manifest.to_json() + "\n")
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    if not _swap_into_place(tmp, entry):
+        winner = Manifest.load(entry)
+        if winner is not None:
+            manifest = winner
+    reg.counter("store.entries_built").inc()
+    reg.counter("store.bytes_written").inc(written)
+    reg.histogram("store.build_seconds").observe(perf_counter() - start)
+    _log.debug(
+        "store_entry_built", path=path, entry=entry, rows=manifest.n_rows,
+        volumes=len(manifest.volumes), dropped=manifest.dropped,
+    )
+    return entry, manifest
+
+
+@dataclass(frozen=True)
+class IngestFileReport:
+    """Outcome of ingesting one trace file."""
+
+    path: str
+    entry: str
+    built: bool  # False when a fresh, policy-compatible entry was reused
+    n_rows: int
+    n_volumes: int
+    dropped: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def ingest_file(
+    path: str,
+    fmt: str = "alicloud",
+    store_dir: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    on_error: str = ON_ERROR_QUARANTINE,
+    force: bool = False,
+) -> IngestFileReport:
+    """Ensure ``path`` has a fresh store entry; build one when needed.
+
+    Module-level (picklable) so directory ingests fan files out across a
+    process pool.  A fresh entry whose build policy can serve ``on_error``
+    is reused as-is unless ``force`` is set.
+    """
+    from .manifest import compatible_policy
+
+    entry = entry_dir(StoreConfig(dir=store_dir).dir_for(path), path)
+    if not force:
+        manifest = Manifest.load(entry)
+        if (
+            manifest is not None
+            and manifest.is_fresh(path)
+            and compatible_policy(manifest, on_error)
+        ):
+            metrics.counter("store.ingest_reused").inc()
+            return IngestFileReport(
+                path=path, entry=entry, built=False, n_rows=manifest.n_rows,
+                n_volumes=len(manifest.volumes), dropped=manifest.dropped,
+            )
+    entry, manifest = build_entry(
+        path, fmt=fmt, store_dir=store_dir, chunk_size=chunk_size, on_error=on_error
+    )
+    return IngestFileReport(
+        path=path, entry=entry, built=True, n_rows=manifest.n_rows,
+        n_volumes=len(manifest.volumes), dropped=manifest.dropped,
+    )
+
+
+def ingest_dir(
+    directory: str,
+    fmt: str = "alicloud",
+    store_dir: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    workers: int = 1,
+    on_error: str = ON_ERROR_QUARANTINE,
+    force: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[IngestFileReport]:
+    """Ingest every trace file of a directory (``repro ingest``).
+
+    Files fan out across ``workers`` processes; each worker parses and
+    writes its own entries, so nothing large crosses the pool.  Reports
+    come back in sorted-path order regardless of completion order.
+    """
+    from ..engine.chunks import list_trace_files
+    from ..engine.runner import parallel_map
+
+    files = list_trace_files(directory)
+    return list(
+        parallel_map(
+            ingest_file,
+            files,
+            workers,
+            progress=progress,
+            fmt=fmt,
+            store_dir=store_dir,
+            chunk_size=chunk_size,
+            on_error=on_error,
+            force=force,
+        )
+    )

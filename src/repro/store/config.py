@@ -1,0 +1,42 @@
+"""Store location and behavior knobs.
+
+A :class:`StoreConfig` travels with every store-aware read: it is a small
+frozen (picklable) value, so process-pool workers receive it alongside
+their unit and open their **own** memory maps — no large array ever
+crosses the pool boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["DEFAULT_STORE_DIRNAME", "StoreConfig"]
+
+#: Default per-trace-directory cache location (a hidden sibling of the
+#: trace files, so the cache travels with the data it mirrors).
+DEFAULT_STORE_DIRNAME = ".repro-store"
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Where the binary trace store lives and how misses are handled.
+
+    Attributes:
+        dir: store directory; ``None`` places each file's entry in a
+            ``.repro-store`` directory next to that file.
+        build: build a missing/stale entry on first use (write-through
+            ingest).  ``False`` serves hits only and leaves misses to the
+            text parser — used by read-only consumers such as
+            ``repro validate``.
+    """
+
+    dir: Optional[str] = None
+    build: bool = True
+
+    def dir_for(self, path: str) -> str:
+        """The store directory responsible for ``path``'s entry."""
+        if self.dir is not None:
+            return self.dir
+        return os.path.join(os.path.dirname(os.path.abspath(path)), DEFAULT_STORE_DIRNAME)

@@ -1,0 +1,168 @@
+"""Store entry manifests: the content-addressed cache contract.
+
+One store entry mirrors one source trace file as columnar ``.npy``
+segments plus a JSON manifest.  The manifest carries everything needed to
+decide — without touching the text file's contents — whether the entry
+still speaks for the source:
+
+* a **source stamp** (absolute path, byte size, ``mtime_ns``) taken when
+  the entry was built; any change to the file invalidates the entry;
+* the **parser version** (bumped whenever text-parse semantics change)
+  and the **store format version** (bumped whenever the on-disk layout
+  changes);
+* the **parse configuration** (trace format, header handling, error
+  policy) the columns were produced under;
+* the ingest's **fault ledger** — the exact count of malformed lines
+  dropped and the bounded quarantine sample — so a warm run reproduces
+  the cold run's error accounting bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..resilience import QuarantineRecord
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "PARSER_VERSION",
+    "MANIFEST_NAME",
+    "COLUMN_FILES",
+    "CODES_FILE",
+    "RESPONSE_FILE",
+    "SourceStamp",
+    "Manifest",
+    "entry_dir",
+    "compatible_policy",
+]
+
+#: On-disk layout version; bump when the segment layout changes.
+STORE_FORMAT_VERSION = 1
+
+#: Version of the text-parse semantics the columns were produced by.
+#: Bump whenever :mod:`repro.engine.chunks` / :mod:`repro.trace.reader`
+#: change what a line parses to — every existing entry then reads as
+#: stale and is rebuilt on first use.
+PARSER_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Always-present column segments, in canonical order.
+COLUMN_FILES = {
+    "timestamps": "timestamps.npy",
+    "offsets": "offsets.npy",
+    "sizes": "sizes.npy",
+    "is_write": "is_write.npy",
+}
+#: Per-row volume codes (present only when the file holds >1 volume).
+CODES_FILE = "vol_codes.npy"
+#: Response-time column (present for formats that carry service times).
+RESPONSE_FILE = "response_times.npy"
+
+
+def entry_dir(store_dir: str, path: str) -> str:
+    """The entry directory for one source file.
+
+    Keyed by the source's absolute path (basename kept readable, a short
+    path digest appended so same-named files in different directories
+    sharing one ``--store-dir`` never collide).
+    """
+    abspath = os.path.abspath(path)
+    digest = hashlib.sha256(abspath.encode("utf-8")).hexdigest()[:12]
+    return os.path.join(store_dir, f"{os.path.basename(abspath)}-{digest}")
+
+
+@dataclass(frozen=True)
+class SourceStamp:
+    """Identity of the source text file at build time."""
+
+    path: str
+    size: int
+    mtime_ns: int
+
+    @classmethod
+    def of(cls, path: str) -> "SourceStamp":
+        st = os.stat(path)
+        return cls(path=os.path.abspath(path), size=st.st_size, mtime_ns=st.st_mtime_ns)
+
+
+@dataclass
+class Manifest:
+    """Everything a warm run needs to trust and serve one entry."""
+
+    source: SourceStamp
+    fmt: str
+    skip_header: bool
+    on_error: str
+    n_rows: int
+    volumes: List[str]  # sorted unique volume ids; codes index into this
+    has_response: bool
+    has_codes: bool
+    dropped: int = 0
+    quarantine: List[QuarantineRecord] = field(default_factory=list)
+    fallback_batches: int = 0
+    store_format_version: int = STORE_FORMAT_VERSION
+    parser_version: int = PARSER_VERSION
+
+    def is_fresh(self, path: str) -> bool:
+        """True when this entry still mirrors ``path`` exactly.
+
+        Checks the source stamp (size + mtime), the store layout version,
+        and the parser version; the error policy is a *compatibility*
+        question, not a freshness one (see :func:`compatible_policy`).
+        """
+        if self.store_format_version != STORE_FORMAT_VERSION:
+            return False
+        if self.parser_version != PARSER_VERSION:
+            return False
+        try:
+            st = os.stat(path)
+        except OSError:
+            return False
+        return st.st_size == self.source.size and st.st_mtime_ns == self.source.mtime_ns
+
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = asdict(self)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        raw = json.loads(text)
+        raw["source"] = SourceStamp(**raw["source"])
+        raw["quarantine"] = [QuarantineRecord(**q) for q in raw.get("quarantine", [])]
+        return cls(**raw)
+
+    @classmethod
+    def load(cls, entry: str) -> Optional["Manifest"]:
+        """Read an entry's manifest; ``None`` when absent or unreadable."""
+        manifest_path = os.path.join(entry, MANIFEST_NAME)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                return cls.from_json(fh.read())
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+
+def compatible_policy(manifest: Manifest, on_error: str) -> bool:
+    """Can an entry built under ``manifest.on_error`` serve ``on_error``?
+
+    The surviving rows — and the exactness of the fault ledger — decide:
+
+    * same policy: always;
+    * a clean build (``dropped == 0``): any policy parses a clean file to
+      the same rows, so the entry serves all three;
+    * ``skip`` served from a ``quarantine`` build: same surviving rows,
+      and the exact dropped count is known (samples are simply unused);
+    * everything else (``strict`` over a dirty entry, ``quarantine`` from
+      a sample-less ``skip`` build): incompatible — the caller falls back
+      to the text parser or rebuilds.
+    """
+    from ..resilience import ON_ERROR_QUARANTINE, ON_ERROR_SKIP
+
+    if manifest.on_error == on_error or manifest.dropped == 0:
+        return True
+    return on_error == ON_ERROR_SKIP and manifest.on_error == ON_ERROR_QUARANTINE

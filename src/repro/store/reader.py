@@ -1,0 +1,248 @@
+"""Serving chunks from store entries — parse never, mmap always.
+
+A warm read opens the entry's ``.npy`` segments with
+``np.load(..., mmap_mode="r")`` and yields :class:`~repro.engine.chunks.Chunk`
+views straight off the page cache: zero text decode, zero int casts, and
+— for single-volume files (the common layout written by
+:func:`repro.trace.writer.write_dataset_dir`) — zero copies until an
+analyzer slices.  The chunk stream is *structurally identical* to the
+text path at the same ``chunk_size`` (same batch boundaries, same
+volume-sorted splits), so engine results are bit-identical.
+
+Every worker calls :func:`try_serve` itself and opens its own maps;
+:class:`~repro.store.config.StoreConfig` is the only store object that
+crosses a process pool.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..obs import metrics
+from ..obs.logging import get_logger
+from ..resilience import (
+    ON_ERROR_QUARANTINE,
+    ON_ERROR_SKIP,
+    ON_ERROR_STRICT,
+    ParseErrors,
+)
+from .config import StoreConfig
+from .manifest import (
+    CODES_FILE,
+    COLUMN_FILES,
+    RESPONSE_FILE,
+    Manifest,
+    compatible_policy,
+    entry_dir,
+)
+
+if TYPE_CHECKING:  # circular at runtime: engine.chunks lazily imports us
+    from ..engine.chunks import Chunk
+
+__all__ = [
+    "ENTRY_FRESH",
+    "ENTRY_STALE",
+    "ENTRY_MISS",
+    "ENTRY_INCOMPATIBLE",
+    "StoreEntry",
+    "entry_status",
+    "serve_chunks",
+    "try_serve",
+]
+
+_log = get_logger("repro.store")
+
+#: Entry states reported by :func:`entry_status`.
+ENTRY_FRESH = "fresh"  # manifest matches the source; policy servable
+ENTRY_STALE = "stale"  # entry exists but no longer mirrors the source
+ENTRY_MISS = "miss"  # no entry at all
+ENTRY_INCOMPATIBLE = "incompatible"  # fresh, but cannot serve this policy
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """A loaded, freshness-checked store entry for one source file."""
+
+    source: str
+    entry: str
+    manifest: Manifest
+
+
+def entry_status(
+    path: str,
+    store: StoreConfig,
+    fmt: str,
+    skip_header: bool = True,
+    on_error: Optional[str] = None,
+) -> Tuple[str, Optional[StoreEntry]]:
+    """Classify ``path``'s entry: fresh / stale / miss / incompatible.
+
+    ``on_error=None`` skips the policy-compatibility check (manifest
+    consumers like ``repro validate`` decide that themselves).  The
+    returned :class:`StoreEntry` accompanies ``fresh`` *and*
+    ``incompatible`` (the manifest is valid either way); ``stale`` and
+    ``miss`` return ``None``.
+    """
+    entry = entry_dir(store.dir_for(path), path)
+    manifest = Manifest.load(entry)
+    if manifest is None:
+        return ENTRY_MISS, None
+    if (
+        not manifest.is_fresh(path)
+        or manifest.fmt != fmt
+        or manifest.skip_header != skip_header
+    ):
+        return ENTRY_STALE, None
+    loaded = StoreEntry(source=path, entry=entry, manifest=manifest)
+    if on_error is not None and not compatible_policy(manifest, on_error):
+        return ENTRY_INCOMPATIBLE, loaded
+    return ENTRY_FRESH, loaded
+
+
+def _replay_ledger(
+    manifest: Manifest, on_error: str, errors: Optional[ParseErrors]
+) -> None:
+    """Reproduce the ingest's exact dropped-line accounting for this run."""
+    if manifest.dropped == 0 or on_error == ON_ERROR_STRICT:
+        return
+    keep_sample = on_error == ON_ERROR_QUARANTINE
+    metrics.counter(
+        "engine.lines_quarantined" if keep_sample else "engine.lines_skipped"
+    ).inc(manifest.dropped)
+    if errors is None:
+        return
+    errors.dropped += manifest.dropped
+    if keep_sample:
+        room = errors.sample_cap - len(errors.sample)
+        if room > 0:
+            errors.sample.extend(manifest.quarantine[:room])
+
+
+def serve_chunks(
+    entry: StoreEntry,
+    chunk_size: int,
+    on_error: str = ON_ERROR_STRICT,
+    errors: Optional[ParseErrors] = None,
+) -> Iterator["Chunk"]:
+    """Yield the entry's rows as the text path's exact chunk stream.
+
+    Single-volume entries yield read-only mmap *views* (zero copy);
+    multi-volume entries replicate the text path's stable volume-sorted
+    batch split (one fancy-indexed copy per chunk, same as text parsing).
+
+    One caveat on entries with dropped malformed lines: the text path
+    batches ``chunk_size`` raw *lines* (so a batch shrinks by however
+    many it dropped) while the store batches ``chunk_size`` surviving
+    *rows* — chunk boundaries can differ, but the per-volume row streams
+    (the only thing analyzers fold) are bit-identical either way, as are
+    the replayed error ledgers.  Clean entries match boundary-for-boundary.
+    """
+    from ..engine.chunks import Chunk
+
+    manifest = entry.manifest
+    reg = metrics.get_registry()
+    _replay_ledger(manifest, on_error, errors)
+    reg.counter("store.hits").inc()
+    reg.counter("store.rows").inc(manifest.n_rows)
+    if manifest.n_rows == 0:
+        return
+
+    def column(filename: str) -> np.ndarray:
+        return np.load(os.path.join(entry.entry, filename), mmap_mode="r")
+
+    timestamps = column(COLUMN_FILES["timestamps"])
+    offsets = column(COLUMN_FILES["offsets"])
+    sizes = column(COLUMN_FILES["sizes"])
+    is_write = column(COLUMN_FILES["is_write"])
+    response = column(RESPONSE_FILE) if manifest.has_response else None
+    reg.counter("store.mmap_bytes").inc(
+        sum(
+            int(a.nbytes)
+            for a in (timestamps, offsets, sizes, is_write, response)
+            if a is not None
+        )
+    )
+    chunks_total = reg.counter("store.chunks")
+    n = manifest.n_rows
+    if not manifest.has_codes:
+        volume_id = manifest.volumes[0]
+        for lo in range(0, n, chunk_size):
+            s = slice(lo, min(lo + chunk_size, n))
+            chunks_total.inc()
+            yield Chunk(
+                volume_id,
+                timestamps[s],
+                offsets[s],
+                sizes[s],
+                is_write[s],
+                None if response is None else response[s],
+            )
+        return
+    codes = column(CODES_FILE)
+    for lo in range(0, n, chunk_size):
+        batch = np.asarray(codes[lo : lo + chunk_size])
+        order = np.argsort(batch, kind="stable")
+        sorted_codes = batch[order]
+        boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+        for seg in np.split(order, boundaries):
+            idx = seg + lo
+            chunks_total.inc()
+            yield Chunk(
+                manifest.volumes[int(batch[seg[0]])],
+                timestamps[idx],
+                offsets[idx],
+                sizes[idx],
+                is_write[idx],
+                None if response is None else response[idx],
+            )
+
+
+def try_serve(
+    path: str,
+    fmt: str,
+    chunk_size: int,
+    skip_header: bool,
+    on_error: str,
+    errors: Optional[ParseErrors],
+    store: StoreConfig,
+) -> Optional[Iterator["Chunk"]]:
+    """The engine's store fast path: serve, build-then-serve, or decline.
+
+    Returns a chunk iterator on a hit (or after transparent on-first-use
+    ingest when ``store.build`` is set), or ``None`` when the caller
+    should fall back to text parsing.  A ``strict`` build of a malformed
+    file raises the parser's exact ``TraceFormatError`` — the same
+    behavior, message, and line number as the text path.
+    """
+    from .builder import build_entry
+
+    reg = metrics.get_registry()
+    status, entry = entry_status(path, store, fmt, skip_header, on_error)
+    if status == ENTRY_FRESH and entry is not None:
+        return serve_chunks(entry, chunk_size, on_error, errors)
+    reg.counter("store.misses").inc()
+    if status == ENTRY_STALE:
+        reg.counter("store.stale_entries").inc()
+    if not store.build:
+        return None
+    try:
+        entry_path, manifest = build_entry(
+            path, fmt=fmt, store_dir=store.dir, chunk_size=chunk_size,
+            skip_header=skip_header, on_error=on_error,
+        )
+    except OSError as exc:
+        # An unwritable or full store must never fail the analysis —
+        # count it, say so, and let the text path take over.
+        reg.counter("store.build_errors").inc()
+        _log.warning("store_build_failed", path=path, error=repr(exc))
+        return None
+    built = StoreEntry(source=path, entry=entry_path, manifest=manifest)
+    if not compatible_policy(manifest, on_error):
+        # A concurrent builder won the swap race with a policy we cannot
+        # serve; parsing text is always correct.
+        return None
+    return serve_chunks(built, chunk_size, on_error, errors)

@@ -58,11 +58,19 @@ class TraceFormatError(ValueError):
         self.line_number = line_number
 
 
+#: Read buffer in front of gzip decompression.  GzipFile hands out small
+#: reads; a 1 MiB buffered reader between it and the text decoder keeps
+#: ``.gz`` ingest from being bound by per-read call overhead.
+_GZIP_BUFFER_BYTES = 1 << 20
+
+
 def open_trace_file(path: str) -> TextIO:
     """Open a trace file for reading, decompressing ``.gz`` transparently."""
     if path.endswith(".gz"):
-        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
-    return open(path, "r", encoding="utf-8")
+        raw = gzip.open(path, "rb")
+        buffered = io.BufferedReader(raw, buffer_size=_GZIP_BUFFER_BYTES)  # type: ignore[arg-type]
+        return io.TextIOWrapper(buffered, encoding="utf-8")
+    return open(path, "r", encoding="utf-8", buffering=_GZIP_BUFFER_BYTES)
 
 
 def _parse_alicloud_line(line: str, lineno: int) -> IORequest:

@@ -9,12 +9,15 @@ once instead of failing on the first bad metric.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
 
 from .dataset import TraceDataset, VolumeTrace
 from .record import SECTOR_SIZE
+
+if TYPE_CHECKING:
+    from ..store import StoreConfig
 
 __all__ = [
     "ValidationIssue",
@@ -119,6 +122,7 @@ def validate_trace_dir(
     chunk_size: Optional[int] = None,
     workers: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    store: Optional["StoreConfig"] = None,
 ) -> ValidationReport:
     """Preflight an on-disk trace directory before analysis.
 
@@ -132,13 +136,35 @@ def validate_trace_dir(
     * ``malformed-lines`` — the remainder count when a dirty directory
       exceeds the detail budget;
     * ``unit-failed`` — a file that could not be processed at all;
+    * ``store-stale`` — with ``store``: a store entry that no longer
+      mirrors its source file (the stale entry is *not* served);
     * plus every :func:`validate_volume` code on the parsed volumes.
+
+    With ``store``, files whose entries are fresh are read from the
+    memory-mapped store (manifest fault ledgers included) instead of
+    re-parsing text; everything else falls back to the text path.
     """
     import os
 
     from ..engine.chunks import DEFAULT_CHUNK_SIZE, read_dataset_dir_chunked
     from ..resilience import ON_ERROR_QUARANTINE, RunErrors
 
+    report = ValidationReport()
+    if store is not None:
+        from ..engine.chunks import list_trace_files
+        from ..store import ENTRY_STALE, entry_status
+
+        for path in list_trace_files(directory):
+            status, _entry = entry_status(path, store, fmt)
+            if status == ENTRY_STALE:
+                report.issues.append(
+                    ValidationIssue(
+                        os.path.basename(path),
+                        "store-stale",
+                        "store entry no longer matches the source file; "
+                        "re-run 'repro ingest'",
+                    )
+                )
     errors = RunErrors(policy=ON_ERROR_QUARANTINE)
     dataset = read_dataset_dir_chunked(
         directory,
@@ -148,8 +174,8 @@ def validate_trace_dir(
         progress=progress,
         on_error=ON_ERROR_QUARANTINE,
         errors=errors,
+        store=store,
     )
-    report = ValidationReport()
     detail = errors.quarantine_sample[:_MAX_PARSE_ISSUES]
     for record in detail:
         report.issues.append(

@@ -47,6 +47,7 @@ class TestPublicAPI:
         )
         assert set(sub.choices) == {
             "generate",
+            "ingest",
             "analyze",
             "report",
             "findings",

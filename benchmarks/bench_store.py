@@ -25,6 +25,15 @@ Usage::
 timed configuration with ``name`` / ``n_requests`` / ``seconds`` /
 ``requests_per_second`` — plus the headline ``speedup_warm_vs_text``
 ratio (the ISSUE's acceptance bar is >= 5x at workers=1).
+
+The ``pruning`` section then times the query planner on the warm store
+(see :mod:`repro.engine.plan`): a full scan with no column declarations,
+the same scan column-pruned by the analyzer's ``required_columns``, and
+a time-windowed single-volume scan that skips whole files and zone-mapped
+chunks.  Each windowed result is asserted bit-identical to the unpruned
+run post-filtered — at every worker count — before any timing is
+reported; the headline ``speedup_window_vs_full`` bar is >= 3x at
+workers=1.
 """
 
 import argparse
@@ -79,6 +88,103 @@ def _assert_identical(text_ds, store_ds, label: str) -> None:
             assert np.array_equal(ra, rb, equal_nan=True), (
                 f"{label}: {vid}.response_times differs"
             )
+
+
+def _bench_pruning(directory, store, text_ds, chunk_size, workers_list, records):
+    """Warm full-scan vs column-pruned vs zone-map-skipped timings.
+
+    Returns the JSON ``pruning`` section.  Bit-identity of the pruned
+    windowed run against the unpruned-then-filtered reference is asserted
+    at every worker count before any timing is reported.
+    """
+    from dataclasses import asdict
+
+    from repro.engine import LoadIntensityAnalyzer, RowPredicate, run
+    from repro.engine.runner import run_dataset
+    from repro.obs import collecting, metrics_report
+    from repro.trace.filters import filter_time_range
+
+    # The densest volume, and the middle tenth of its time span: a query
+    # shaped like "one volume, one window" — the planner's home turf.
+    vid = max(text_ds.volume_ids(), key=lambda v: len(text_ds[v]))
+    ts = text_ds[vid].timestamps
+    t0, t1 = float(ts.min()), float(ts.max())
+    since = t0 + 0.45 * (t1 - t0)
+    until = t0 + 0.55 * (t1 - t0)
+    predicate = RowPredicate(since=since, until=until, volumes=(vid,))
+
+    def _analyzer():
+        return LoadIntensityAnalyzer(peak_interval=10.0)
+
+    def _undeclared_analyzer():
+        analyzer = _analyzer()
+        analyzer.required_columns = None  # opt out of column pruning
+        return analyzer
+
+    # Reference: unpruned parse, filtered after the fact.
+    ref_ds = filter_time_range(text_ds, since, until).subset([vid])
+    ref = {
+        v: asdict(r)
+        for v, r in run_dataset(
+            ref_ds, [_analyzer()], chunk_size=chunk_size
+        ).analyzer("load_intensity").items()
+    }
+
+    section = {
+        "volume": vid,
+        "since": round(since, 3),
+        "until": round(until, 3),
+        "window_rows": int(len(ref_ds[vid])) if vid in ref_ds.volume_ids() else 0,
+        "workers": {},
+    }
+    print("\nquery planning on the warm store:")
+    for workers in workers_list:
+        n_rows = sum(len(text_ds[v]) for v in text_ds.volume_ids())
+        full_t, _ = _timed(
+            f"full scan (all cols) workers={workers}",
+            run, directory, [_undeclared_analyzer()],
+            chunk_size=chunk_size, workers=workers, store=store,
+        )
+        col_t, _ = _timed(
+            f"column-pruned workers={workers}",
+            run, directory, [_analyzer()],
+            chunk_size=chunk_size, workers=workers, store=store,
+        )
+        with collecting() as registry:
+            win_t, win_res = _timed(
+                f"windowed volume workers={workers}",
+                run, directory, [_analyzer()],
+                chunk_size=chunk_size, workers=workers, store=store,
+                predicate=predicate,
+            )
+        counters = {
+            name: value
+            for name, value in metrics_report(registry)["counters"].items()
+            if name.startswith("plan.")
+        }
+        got = {
+            v: asdict(r)
+            for v, r in win_res.analyzer("load_intensity").items()
+        }
+        assert got == ref, (
+            f"windowed run workers={workers} differs from "
+            "unpruned-then-filtered reference"
+        )
+        records.append(_record(f"plan full scan workers={workers}", n_rows, full_t))
+        records.append(_record(f"plan column-pruned workers={workers}", n_rows, col_t))
+        records.append(_record(f"plan windowed workers={workers}", n_rows, win_t))
+        section["workers"][str(workers)] = {
+            "full_scan_seconds": round(full_t, 6),
+            "column_pruned_seconds": round(col_t, 6),
+            "windowed_seconds": round(win_t, 6),
+            "speedup_window_vs_full": round(full_t / win_t, 3) if win_t > 0 else None,
+            "plan_counters": counters,
+        }
+    print("  bit-identity: windowed == unpruned-then-filtered at every worker count")
+    headline = section["workers"][str(workers_list[0])]["speedup_window_vs_full"]
+    section["speedup_window_vs_full"] = headline
+    print(f"  windowed vs full-scan speedup (workers={workers_list[0]}): {headline:.2f}x")
+    return section
 
 
 def _record(name: str, n_requests: int, seconds: float) -> dict:
@@ -172,6 +278,10 @@ def main(argv=None) -> int:
             print(f"  workers={workers}: {ratio:5.2f}x")
         headline = text_times[args.workers[0]] / warm_times[args.workers[0]]
 
+        pruning = _bench_pruning(
+            directory, store, text_ds, args.chunk_size, args.workers, records
+        )
+
         if args.json:
             payload = {
                 "benchmark": "bench_store",
@@ -182,6 +292,7 @@ def main(argv=None) -> int:
                 "n_requests": n_requests,
                 "store_bytes": store_bytes,
                 "speedup_warm_vs_text": round(headline, 3),
+                "pruning": pruning,
                 "results": records,
             }
             with open(args.json, "w", encoding="utf-8") as fh:

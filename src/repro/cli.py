@@ -26,6 +26,15 @@ accept ``--on-error {strict,skip,quarantine}``, ``--max-retries`` /
 sink for sampled malformed lines), ``--errors-out`` (the run's full JSON
 fault ledger), and ``--faults PLAN.json`` to activate a deterministic
 :mod:`repro.faults` injection plan for chaos drills.
+
+Query planning (see :mod:`repro.engine.plan`): ``analyze``, ``report``,
+``stream-analyze``, and ``findings`` accept ``--since`` / ``--until``
+(half-open time window, seconds) and a volume-id filter (``--volumes``
+on most commands; ``--only-volumes`` on ``findings``, whose ``--volumes``
+is the synthetic fleet size).  Filters push down the data path — pruned
+columns, zone-map chunk skipping on a warm store — and are bit-identical
+to filtering after the fact; planner counters (``plan.*``) land in the
+``--metrics-out`` report.
 """
 
 from __future__ import annotations
@@ -46,7 +55,7 @@ from .core import (
     evaluate_findings,
     format_table,
 )
-from .engine import DEFAULT_CHUNK_SIZE, read_dataset_dir_chunked
+from .engine import DEFAULT_CHUNK_SIZE, RowPredicate, read_dataset_dir_chunked
 from .engine.runner import parallel_map, resilient_map
 from .obs import (
     collecting,
@@ -89,6 +98,45 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
         help="store location (implies --store; default: .repro-store "
         "next to the trace files)",
     )
+
+
+def _add_filter_flags(
+    parser: argparse.ArgumentParser, volumes_flag: str = "--volumes"
+) -> None:
+    """The row-predicate knobs (see repro.engine.plan).
+
+    ``findings`` passes ``volumes_flag="--only-volumes"`` because its
+    ``--volumes`` already means the synthetic fleet size.
+    """
+    parser.add_argument(
+        "--since", type=float, default=None, metavar="SECONDS",
+        help="keep only requests with timestamp >= SECONDS "
+        "(half-open window; pushed down the data path)",
+    )
+    parser.add_argument(
+        "--until", type=float, default=None, metavar="SECONDS",
+        help="keep only requests with timestamp < SECONDS",
+    )
+    parser.add_argument(
+        volumes_flag, dest="filter_volumes", default=None, metavar="IDS",
+        help="comma-separated volume ids to keep (others are skipped "
+        "without being read on a warm store)",
+    )
+
+
+def _row_predicate(args: argparse.Namespace) -> Optional[RowPredicate]:
+    """The run's :class:`RowPredicate` from the filter flags (or None)."""
+    since = getattr(args, "since", None)
+    until = getattr(args, "until", None)
+    raw_volumes = getattr(args, "filter_volumes", None)
+    volumes = (
+        tuple(v for v in (part.strip() for part in raw_volumes.split(",")) if v)
+        if raw_volumes
+        else None
+    )
+    if since is None and until is None and volumes is None:
+        return None
+    return RowPredicate(since=since, until=until, volumes=volumes)
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -215,12 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--block-size", type=int, default=4096)
     ana.add_argument("--output", default="-", help="output JSON path ('-' for stdout)")
     _add_engine_flags(ana)
+    _add_filter_flags(ana)
 
     rep = sub.add_parser("report", help="fleet-level summary of a trace directory")
     rep.add_argument("trace_dir")
     rep.add_argument("--format", choices=["alicloud", "msrc"], default="alicloud")
     rep.add_argument("--block-size", type=int, default=4096)
     _add_engine_flags(rep)
+    _add_filter_flags(rep)
 
     fnd = sub.add_parser("findings", help="evaluate the paper's 15 findings on synthetic fleets")
     fnd.add_argument("--volumes", type=int, default=60, help="AliCloud-side volumes")
@@ -238,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print the measured evidence per finding"
     )
     _add_engine_flags(fnd)
+    # --volumes already means "synthetic fleet size" here.
+    _add_filter_flags(fnd, volumes_flag="--only-volumes")
 
     exp = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures on synthetic fleets"
@@ -260,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--block-size", type=int, default=4096)
     stream.add_argument("--output", default="-", help="output JSON path ('-' for stdout)")
     _add_engine_flags(stream)
+    _add_filter_flags(stream)
 
     val = sub.add_parser(
         "validate",
@@ -460,7 +513,8 @@ def _analyze(args: argparse.Namespace) -> int:
         args.trace_dir, fmt=args.format,
         chunk_size=args.chunk_size, workers=args.workers,
         progress=_progress_callback(args, "parse"),
-        errors=errors, store=_store_config(args), **res,
+        errors=errors, store=_store_config(args),
+        predicate=_row_predicate(args), **res,
     )
     if res["on_error"] == ON_ERROR_STRICT:
         raw = list(
@@ -497,7 +551,8 @@ def _report(args: argparse.Namespace) -> int:
         args.trace_dir, fmt=args.format,
         chunk_size=args.chunk_size, workers=args.workers,
         progress=_progress_callback(args, "parse"),
-        errors=errors, store=_store_config(args), **_resilience_kwargs(args),
+        errors=errors, store=_store_config(args),
+        predicate=_row_predicate(args), **_resilience_kwargs(args),
     )
     _emit_error_reports(args, errors)
     stats = basic_statistics(dataset, block_size=args.block_size, workers=args.workers)
@@ -523,12 +578,14 @@ def _findings(args: argparse.Namespace) -> int:
     scale_m = msrc_scale(day_seconds=args.day_seconds)
     res = _resilience_kwargs(args)
     errors = RunErrors(policy=res["on_error"])
+    predicate = _row_predicate(args)
     if args.ali_dir is not None:
         ali = read_dataset_dir_chunked(
             args.ali_dir, fmt="alicloud",
             chunk_size=args.chunk_size, workers=args.workers,
             progress=_progress_callback(args, "parse-ali"),
-            errors=errors, store=_store_config(args), **res,
+            errors=errors, store=_store_config(args),
+            predicate=predicate, **res,
         )
     else:
         ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
@@ -537,7 +594,8 @@ def _findings(args: argparse.Namespace) -> int:
             args.msrc_dir, fmt="msrc",
             chunk_size=args.chunk_size, workers=args.workers,
             progress=_progress_callback(args, "parse-msrc"),
-            errors=errors, store=_store_config(args), **res,
+            errors=errors, store=_store_config(args),
+            predicate=predicate, **res,
         )
     else:
         msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
@@ -593,6 +651,7 @@ def _stream_analyze(args: argparse.Namespace) -> int:
         workers=args.workers,
         progress=_progress_callback(args, "fold"),
         store=_store_config(args),
+        predicate=_row_predicate(args),
         **_resilience_kwargs(args),
     )
     _emit_error_reports(args, result.errors)

@@ -10,6 +10,11 @@ One shared execution substrate for every trace analysis:
 * :mod:`~repro.engine.analyzers` — adapters re-expressing the paper's
   load-intensity, spatial, temporal, and streaming-profile analyses as
   engine folds.
+* :mod:`~repro.engine.plan` — query planning: analyzers declare the
+  columns they read and optional row predicates; the run's
+  :class:`QueryPlan` prunes columns and pushes filters down the data
+  path (zone-map chunk skipping on a warm store), with results
+  bit-identical to filtering after the fact.
 * :mod:`~repro.engine.runner` — the driver: many analyzers in one pass
   per volume, volumes/files fanned out across a process pool with
   deterministic merge order.
@@ -36,10 +41,21 @@ from .analyzers import (
 from .chunks import (
     DEFAULT_CHUNK_SIZE,
     Chunk,
+    ColumnPrunedError,
+    apply_plan,
+    apply_predicate,
     chunks_from_trace,
     iter_chunks,
     list_trace_files,
     read_dataset_dir_chunked,
+)
+from .plan import (
+    ALL_COLUMNS,
+    QueryPlan,
+    RowPredicate,
+    analyzer_columns,
+    analyzer_predicate,
+    plan_for,
 )
 from .runner import (
     EngineResult,
@@ -64,10 +80,19 @@ __all__ = [
     "WorkingSetSketch",
     "DEFAULT_CHUNK_SIZE",
     "Chunk",
+    "ColumnPrunedError",
+    "apply_plan",
+    "apply_predicate",
     "chunks_from_trace",
     "iter_chunks",
     "list_trace_files",
     "read_dataset_dir_chunked",
+    "ALL_COLUMNS",
+    "QueryPlan",
+    "RowPredicate",
+    "analyzer_columns",
+    "analyzer_predicate",
+    "plan_for",
     "EngineResult",
     "parallel_map",
     "resilient_map",

@@ -26,6 +26,12 @@ volume id; merges happen in fixed order).
 All analyzers require each volume's chunks in time order — the order trace
 files are written in and the same requirement the legacy streaming
 profiler imposes.
+
+Every built-in analyzer declares honest ``required_columns`` (none needs
+``response_times``; only the timestamp-driven ones need ``timestamps``)
+so the planner (:mod:`repro.engine.plan`) can prune what nobody reads,
+and accepts an optional ``row_predicate`` restricting the analyzer to a
+time window / volume set / op kind of its own.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from ..stats.streaming import ReservoirSampler
 from ..trace.record import DEFAULT_BLOCK_SIZE
 from .analyzer import DEFAULT_PERCENTILES, reservoir_percentiles, volume_seed
 from .chunks import Chunk
+from .plan import RowPredicate
 
 __all__ = [
     "LoadIntensityAnalyzer",
@@ -160,11 +167,14 @@ class LoadIntensityAnalyzer:
         peak_interval: float = 60.0,
         reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
         percentiles: Tuple[float, ...] = DEFAULT_PERCENTILES,
+        row_predicate: Optional[RowPredicate] = None,
     ) -> None:
         self.name = "load_intensity"
         self.peak_interval = peak_interval
         self.reservoir_size = reservoir_size
         self.percentiles = percentiles
+        self.required_columns = ("timestamps", "sizes", "is_write")
+        self.row_predicate = row_predicate
 
     def init_state(self, volume_id: str) -> _LoadState:
         return _LoadState(volume_id, self.reservoir_size)
@@ -277,11 +287,16 @@ class SpatialAnalyzer:
     """Working-set size sketches at block granularity."""
 
     def __init__(
-        self, block_size: int = DEFAULT_BLOCK_SIZE, hll_precision: int = 14
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        hll_precision: int = 14,
+        row_predicate: Optional[RowPredicate] = None,
     ) -> None:
         self.name = "spatial"
         self.block_size = block_size
         self.hll_precision = hll_precision
+        self.required_columns = ("offsets", "sizes", "is_write")
+        self.row_predicate = row_predicate
 
     def init_state(self, volume_id: str) -> _SpatialState:
         return _SpatialState(volume_id, self.hll_precision)
@@ -433,11 +448,14 @@ class TemporalAnalyzer:
         block_size: int = DEFAULT_BLOCK_SIZE,
         reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
         percentiles: Tuple[float, ...] = DEFAULT_PERCENTILES,
+        row_predicate: Optional[RowPredicate] = None,
     ) -> None:
         self.name = "temporal"
         self.block_size = block_size
         self.reservoir_size = reservoir_size
         self.percentiles = percentiles
+        self.required_columns = ("timestamps", "offsets", "sizes", "is_write")
+        self.row_predicate = row_predicate
 
     def init_state(self, volume_id: str) -> _TemporalState:
         return _TemporalState(volume_id, self.reservoir_size)
@@ -574,12 +592,15 @@ class StreamingProfileAnalyzer:
         reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
         hll_precision: int = 14,
         percentiles: Tuple[float, ...] = DEFAULT_PERCENTILES,
+        row_predicate: Optional[RowPredicate] = None,
     ) -> None:
         self.name = "streaming_profile"
         self.block_size = block_size
         self.reservoir_size = reservoir_size
         self.hll_precision = hll_precision
         self.percentiles = percentiles
+        self.required_columns = ("timestamps", "offsets", "sizes", "is_write")
+        self.row_predicate = row_predicate
 
     def init_state(self, volume_id: str) -> _ProfileState:
         return _ProfileState(volume_id, self.reservoir_size, self.hll_precision)
@@ -639,7 +660,23 @@ class StreamingProfileAnalyzer:
 
     def finalize(self, state: _ProfileState) -> StreamingVolumeProfile:
         if state.n_reads + state.n_writes == 0:
-            raise ValueError("no requests accumulated")
+            # A predicate can filter a volume's rows down to nothing;
+            # finalize must still produce a (empty) profile, not raise.
+            return StreamingVolumeProfile(
+                volume_id=state.volume_id,
+                n_requests=0,
+                n_reads=0,
+                n_writes=0,
+                read_bytes=0,
+                write_bytes=0,
+                start_time=float("nan"),
+                end_time=float("nan"),
+                wss_total_bytes=0.0,
+                wss_read_bytes=0.0,
+                wss_write_bytes=0.0,
+                size_percentiles={},
+                interarrival_percentiles={},
+            )
         bs = self.block_size
         return StreamingVolumeProfile(
             volume_id=state.volume_id,

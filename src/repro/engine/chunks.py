@@ -21,8 +21,18 @@ volume, preserving per-volume order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -49,10 +59,14 @@ from ..trace.reader import (
     open_trace_file,
 )
 from ..trace.record import IORequest
+from .plan import ALL_COLUMNS, QueryPlan, RowPredicate
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "Chunk",
+    "ColumnPrunedError",
+    "apply_predicate",
+    "apply_plan",
     "iter_chunks",
     "chunks_from_trace",
     "read_dataset_dir_chunked",
@@ -67,9 +81,31 @@ _FILETIME_TICKS_PER_SECOND = 10_000_000
 _MICROSECONDS_PER_SECOND = 1_000_000
 
 
-@dataclass
+class ColumnPrunedError(RuntimeError):
+    """An analyzer touched a column its run's plan pruned away.
+
+    Raised by :class:`Chunk` column access when the column was dropped by
+    a :class:`~repro.engine.plan.QueryPlan` — i.e. no analyzer in the run
+    declared it in ``required_columns``.  Fix the declaration, not the
+    access: the plan only prunes what nobody claimed to need.
+    """
+
+
+#: A chunk column as stored: materialized array, lazy thunk (resolved and
+#: cached on first access — e.g. a deferred masked copy off an mmap), or
+#: None (column pruned by the plan / absent from the trace format).
+ColumnSource = Union[np.ndarray, Callable[[], np.ndarray], None]
+
+
 class Chunk:
     """A columnar batch of one volume's requests, in time order.
+
+    Columns are **lazily materialized**: each one is backed by an array,
+    a zero-argument thunk (evaluated and cached on first access — how the
+    store defers masked copies until an analyzer actually reads), or
+    ``None`` when a :class:`~repro.engine.plan.QueryPlan` pruned it.
+    Reading a pruned core column raises :class:`ColumnPrunedError`;
+    ``response_times`` reads as ``None`` whether absent or pruned.
 
     Attributes:
         volume_id: the volume all rows belong to.
@@ -80,20 +116,103 @@ class Chunk:
         response_times: optional float64 service times (MSRC traces).
     """
 
-    volume_id: str
-    timestamps: np.ndarray
-    offsets: np.ndarray
-    sizes: np.ndarray
-    is_write: np.ndarray
-    response_times: Optional[np.ndarray] = None
-    #: Memoized request→block expansions keyed by block size, shared by
-    #: analyzers so one chunk is expanded at most once per granularity.
-    _block_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(
-        default_factory=dict, repr=False
-    )
+    __slots__ = ("volume_id", "_cols", "_n_rows", "_block_cache")
+
+    def __init__(
+        self,
+        volume_id: str,
+        timestamps: ColumnSource = None,
+        offsets: ColumnSource = None,
+        sizes: ColumnSource = None,
+        is_write: ColumnSource = None,
+        response_times: ColumnSource = None,
+        n_rows: Optional[int] = None,
+    ) -> None:
+        self.volume_id = volume_id
+        self._cols: Dict[str, ColumnSource] = {
+            "timestamps": timestamps,
+            "offsets": offsets,
+            "sizes": sizes,
+            "is_write": is_write,
+            "response_times": response_times,
+        }
+        if n_rows is None:
+            for name in ALL_COLUMNS:
+                value = self._cols[name]
+                if value is not None and not callable(value):
+                    n_rows = len(value)
+                    break
+            else:
+                raise ValueError(
+                    "a Chunk with no materialized column needs an explicit n_rows"
+                )
+        self._n_rows = int(n_rows)
+        #: Memoized request→block expansions keyed by block size, shared by
+        #: analyzers so one chunk is expanded at most once per granularity.
+        self._block_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     def __len__(self) -> int:
-        return len(self.timestamps)
+        return self._n_rows
+
+    def __repr__(self) -> str:
+        cols = ",".join(self.present_columns())
+        return f"Chunk({self.volume_id!r}, n_rows={self._n_rows}, columns=[{cols}])"
+
+    # -- column access -----------------------------------------------------
+
+    def _materialized(self, name: str) -> Optional[np.ndarray]:
+        """The column's array (resolving+caching a thunk), or None."""
+        value = self._cols[name]
+        if value is not None and callable(value):
+            value = value()
+            self._cols[name] = value
+        return value
+
+    def _require(self, name: str) -> np.ndarray:
+        value = self._materialized(name)
+        if value is None:
+            raise ColumnPrunedError(
+                f"column {name!r} of volume {self.volume_id!r} was pruned by the "
+                f"query plan; declare it in the analyzer's required_columns"
+            )
+        return value
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._require("timestamps")
+
+    @property
+    def offsets(self) -> np.ndarray:
+        return self._require("offsets")
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._require("sizes")
+
+    @property
+    def is_write(self) -> np.ndarray:
+        return self._require("is_write")
+
+    @property
+    def response_times(self) -> Optional[np.ndarray]:
+        return self._materialized("response_times")
+
+    def has_column(self, name: str) -> bool:
+        """Is ``name`` present (materialized or lazily available)?"""
+        return self._cols[name] is not None
+
+    def present_columns(self) -> Tuple[str, ...]:
+        """Names of the columns this chunk carries, canonical order."""
+        return tuple(name for name in ALL_COLUMNS if self._cols[name] is not None)
+
+    def prune_columns(self, keep: Sequence[str]) -> int:
+        """Drop present columns not named in ``keep``; returns how many."""
+        dropped = 0
+        for name in ALL_COLUMNS:
+            if self._cols[name] is not None and name not in keep:
+                self._cols[name] = None
+                dropped += 1
+        return dropped
 
     @classmethod
     def from_trace(cls, trace: VolumeTrace, lo: int = 0, hi: Optional[int] = None) -> "Chunk":
@@ -129,6 +248,79 @@ class Chunk:
         block_id = np.repeat(first, counts) + within
         self._block_cache[block_size] = (req_index, block_id)
         return req_index, block_id
+
+
+# -- predicate / plan application ------------------------------------------
+
+
+def _filter_rows(
+    chunk: Chunk, predicate: Optional[RowPredicate]
+) -> Tuple[Optional[Chunk], int]:
+    """``(surviving chunk, rows dropped)`` after row-level filtering.
+
+    The surviving chunk is the input unchanged when every row passes,
+    ``None`` when none do (including a volume-set miss), and a fresh
+    chunk of masked copies otherwise.  Row order is preserved, so
+    filtering commutes with chunking: filtering each chunk of a stream
+    equals chunking the filtered stream, row for row.
+    """
+    if predicate is None or predicate.is_null():
+        return chunk, 0
+    n = len(chunk)
+    if not predicate.allows_volume(chunk.volume_id):
+        return None, n
+    mask = predicate.row_mask(
+        chunk.timestamps if predicate.needs_timestamps else None,
+        chunk.is_write if predicate.needs_ops else None,
+    )
+    if mask is None:
+        return chunk, 0
+    kept = int(np.count_nonzero(mask))
+    if kept == n:
+        return chunk, 0
+    if kept == 0:
+        return None, n
+    cols: Dict[str, Optional[np.ndarray]] = {}
+    for name in ALL_COLUMNS:
+        value = chunk._materialized(name)
+        cols[name] = None if value is None else value[mask]
+    return Chunk(chunk.volume_id, n_rows=kept, **cols), n - kept
+
+
+def apply_predicate(chunk: Chunk, predicate: Optional[RowPredicate]) -> Optional[Chunk]:
+    """Rows of ``chunk`` matching ``predicate``, or None when none do.
+
+    Counter-free: used for per-analyzer residual predicates inside the
+    fold, where the run-level plan counters have already been charged.
+    """
+    return _filter_rows(chunk, predicate)[0]
+
+
+def apply_plan(chunk: Chunk, plan: Optional[QueryPlan]) -> Optional[Chunk]:
+    """Apply a run plan to a text-path chunk: filter rows, prune columns.
+
+    The store path does this natively before materializing anything; here
+    it runs post-parse so cold (text) runs see the same chunk stream a
+    warm (store) run serves.  Planner counters are charged here:
+    ``plan.rows_pruned`` / ``plan.rows_served`` for rows,
+    ``plan.chunks_skipped`` when nothing survives, and
+    ``plan.columns_pruned`` for columns dropped from served chunks.
+    """
+    if plan is None or plan.is_noop():
+        return chunk
+    reg = metrics.get_registry()
+    kept, dropped = _filter_rows(chunk, plan.predicate)
+    if dropped:
+        reg.counter("plan.rows_pruned").inc(dropped)
+    if kept is None:
+        reg.counter("plan.chunks_skipped").inc()
+        return None
+    reg.counter("plan.rows_served").inc(len(kept))
+    if plan.columns is not None:
+        pruned = kept.prune_columns(plan.load_columns() or ())
+        if pruned:
+            reg.counter("plan.columns_pruned").inc(pruned)
+    return kept
 
 
 # -- vectorized batch parsers ---------------------------------------------
@@ -405,6 +597,7 @@ def iter_chunks(
     on_error: str = ON_ERROR_STRICT,
     errors: Optional[ParseErrors] = None,
     store: Optional["StoreConfig"] = None,
+    plan: Optional[QueryPlan] = None,
 ) -> Iterator[Chunk]:
     """Stream per-volume :class:`Chunk` batches from one trace file.
 
@@ -427,18 +620,27 @@ def iter_chunks(
             from mmap (no text parsing); a miss transparently ingests the
             file first when ``store.build`` is set.  Results are
             bit-identical to the text path either way.
+        plan: optional :class:`~repro.engine.plan.QueryPlan` — served
+            chunks carry only planned columns and predicate-matching rows.
+            The store path skips disjoint chunks before touching their
+            bytes; the text path still parses everything, then prunes.
+            Either way the surviving rows are identical
+            (pruned-equals-filtered).
 
     Raises:
         TraceFormatError: under ``strict`` only, for malformed lines, with
             the same message and line number as the row readers.
     """
+    if plan is not None and plan.is_noop():
+        plan = None
     if store is not None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         from ..store import try_serve
 
         served = try_serve(
-            path, fmt, chunk_size, skip_header, validate_on_error(on_error), errors, store
+            path, fmt, chunk_size, skip_header, validate_on_error(on_error), errors,
+            store, plan=plan,
         )
         if served is not None:
             yield from served
@@ -449,8 +651,11 @@ def iter_chunks(
         on_error=on_error, errors=errors,
     ):
         for chunk in _split_by_volume(columns):
+            planned = apply_plan(chunk, plan)
+            if planned is None:
+                continue
             chunks_total.inc()
-            yield chunk
+            yield planned
 
 
 def chunks_from_trace(
@@ -496,6 +701,7 @@ def _read_file_columns(
     chunk_size: int,
     on_error: str = ON_ERROR_STRICT,
     store: Optional["StoreConfig"] = None,
+    plan: Optional[QueryPlan] = None,
 ) -> Tuple[Dict[str, "_VolumeColumns"], Optional[ParseErrors]]:
     """Parse one file into per-volume column fragments (worker unit).
 
@@ -507,7 +713,7 @@ def _read_file_columns(
     acc: Dict[str, _VolumeColumns] = {}
     for chunk in iter_chunks(
         path, fmt=fmt, chunk_size=chunk_size, on_error=on_error,
-        errors=parse_errors, store=store,
+        errors=parse_errors, store=store, plan=plan,
     ):
         cols = acc.get(chunk.volume_id)
         if cols is None:
@@ -535,6 +741,7 @@ def read_dataset_dir_chunked(
     unit_timeout: Optional[float] = None,
     errors: Optional[RunErrors] = None,
     store: Optional["StoreConfig"] = None,
+    predicate: Optional[RowPredicate] = None,
 ) -> TraceDataset:
     """Chunked-parse replacement for :func:`repro.trace.reader.read_dataset_dir`.
 
@@ -554,12 +761,22 @@ def read_dataset_dir_chunked(
     With ``store`` set (see :class:`~repro.store.StoreConfig`), files
     with fresh store entries are materialized from mmap instead of text —
     same arrays, same error accounting, no parsing.
+
+    With ``predicate`` set, only matching rows are materialized (a warm
+    store additionally skips disjoint chunks via zone maps); the result
+    equals reading everything and then filtering, except that volumes
+    left with zero rows are omitted entirely.
     """
     import os
 
     from .runner import parallel_map, resilient_map
 
     on_error = validate_on_error(on_error)
+    plan = (
+        QueryPlan(predicate=predicate)
+        if predicate is not None and not predicate.is_null()
+        else None
+    )
     files = list_trace_files(directory)
     run_errors = errors if errors is not None else RunErrors(policy=on_error)
     if on_error == ON_ERROR_STRICT:
@@ -575,6 +792,7 @@ def read_dataset_dir_chunked(
                 chunk_size=chunk_size,
                 on_error=on_error,
                 store=store,
+                plan=plan,
             )
         )
     else:
@@ -590,6 +808,7 @@ def read_dataset_dir_chunked(
             chunk_size=chunk_size,
             on_error=on_error,
             store=store,
+            plan=plan,
         )
 
     merged: Dict[str, _VolumeColumns] = {}

@@ -90,10 +90,13 @@ from .analyzer import Analyzer
 from .chunks import (
     DEFAULT_CHUNK_SIZE,
     Chunk,
+    apply_plan,
+    apply_predicate,
     chunks_from_trace,
     iter_chunks,
     list_trace_files,
 )
+from .plan import QueryPlan, RowPredicate, analyzer_predicate, plan_for
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.store imports the engine
     from ..store import StoreConfig
@@ -486,24 +489,58 @@ class EngineResult:
         return sorted(ids)
 
 
-def _fold_chunks(analyzers: Sequence[Analyzer], chunks: Iterable[Chunk]) -> _StateMap:
-    """Fold a chunk stream through every analyzer (shared single pass)."""
+def _residual_predicates(
+    analyzers: Sequence[Analyzer], plan: Optional[QueryPlan]
+) -> List[Optional[RowPredicate]]:
+    """Per-analyzer predicates still to apply after the plan's pushdown.
+
+    The plan's shared predicate is the *union* of the analyzers' own
+    predicates (intersected with the run-level one), so an analyzer whose
+    predicate is narrower than the pushdown re-filters its slice of each
+    surviving chunk here.  An analyzer whose predicate equals the
+    pushdown has nothing left to do (None).
+    """
+    base = plan.predicate if plan is not None else None
+    residuals: List[Optional[RowPredicate]] = []
+    for a in analyzers:
+        own = analyzer_predicate(a)
+        residuals.append(None if own is None or own == base else own)
+    return residuals
+
+
+def _fold_chunks(
+    analyzers: Sequence[Analyzer],
+    chunks: Iterable[Chunk],
+    plan: Optional[QueryPlan] = None,
+) -> _StateMap:
+    """Fold a chunk stream through every analyzer (shared single pass).
+
+    ``chunks`` must already reflect ``plan`` (pushed-down rows pruned);
+    only per-analyzer residual predicates are applied here, chunk by
+    chunk, so each analyzer consumes exactly its own declared row stream.
+    """
     states: _StateMap = {i: {} for i in range(len(analyzers))}
     reg = metrics.get_registry()
     requests_total = reg.counter("engine.requests")
     chunks_total = reg.counter("engine.chunks")
     span_names = [f"consume.{a.name}" for a in analyzers]
+    residuals = _residual_predicates(analyzers, plan)
     for chunk in chunks:
         requests_total.inc(len(chunk))
         chunks_total.inc()
-        vid = chunk.volume_id
         for i, analyzer in enumerate(analyzers):
+            target = chunk
+            if residuals[i] is not None:
+                target = apply_predicate(chunk, residuals[i])
+                if target is None:
+                    continue
+            vid = target.volume_id
             per_vol = states[i]
             state = per_vol.get(vid)
             if state is None:
                 state = analyzer.init_state(vid)
             with span(span_names[i]):
-                per_vol[vid] = analyzer.consume(state, chunk)
+                per_vol[vid] = analyzer.consume(state, target)
     return states
 
 
@@ -514,6 +551,7 @@ def _fold_file(
     chunk_size: int,
     on_error: str = ON_ERROR_STRICT,
     store: Optional["StoreConfig"] = None,
+    plan: Optional[QueryPlan] = None,
 ) -> Tuple[_StateMap, Optional[ParseErrors]]:
     """Worker unit: fold one trace file (all analyzers, one parse).
 
@@ -524,24 +562,37 @@ def _fold_file(
     ledger is replayed from the entry's manifest).
     """
     if on_error == ON_ERROR_STRICT:
-        chunks = iter_chunks(path, fmt=fmt, chunk_size=chunk_size, store=store)
-        return _fold_chunks(analyzers, chunks), None
+        chunks = iter_chunks(path, fmt=fmt, chunk_size=chunk_size, store=store, plan=plan)
+        return _fold_chunks(analyzers, chunks, plan), None
     parse_errors = ParseErrors()
     states = _fold_chunks(
         analyzers,
         iter_chunks(
             path, fmt=fmt, chunk_size=chunk_size, on_error=on_error,
-            errors=parse_errors, store=store,
+            errors=parse_errors, store=store, plan=plan,
         ),
+        plan,
     )
     return states, parse_errors if parse_errors.dropped else None
 
 
+def _planned_trace_chunks(
+    trace: VolumeTrace, chunk_size: int, plan: Optional[QueryPlan]
+) -> Iterable[Chunk]:
+    for chunk in chunks_from_trace(trace, chunk_size):
+        planned = apply_plan(chunk, plan)
+        if planned is not None:
+            yield planned
+
+
 def _fold_volume(
-    trace: VolumeTrace, analyzers: Sequence[Analyzer], chunk_size: int
+    trace: VolumeTrace,
+    analyzers: Sequence[Analyzer],
+    chunk_size: int,
+    plan: Optional[QueryPlan] = None,
 ) -> _StateMap:
     """Worker unit: fold one in-memory volume."""
-    return _fold_chunks(analyzers, chunks_from_trace(trace, chunk_size))
+    return _fold_chunks(analyzers, _planned_trace_chunks(trace, chunk_size, plan), plan)
 
 
 def _merge_states(
@@ -601,6 +652,7 @@ def run_files(
     retry: Optional[RetryPolicy] = None,
     unit_timeout: Optional[float] = None,
     store: Optional["StoreConfig"] = None,
+    predicate: Optional[RowPredicate] = None,
 ) -> EngineResult:
     """Run analyzers over trace files, one parse per file.
 
@@ -621,9 +673,17 @@ def run_files(
     worker serves its file from the binary trace store when a fresh entry
     exists — zero text parsing — and results stay bit-identical with the
     text path at any worker count.
+
+    Query planning: the run's :class:`~repro.engine.plan.QueryPlan` is
+    the union of the analyzers' declared ``required_columns`` /
+    ``row_predicate`` intersected with the run-level ``predicate``; the
+    data path then loads only planned columns and serves only matching
+    rows (a warm store skips provably disjoint chunks outright).  Results
+    equal the unpruned run post-filtered, at any worker count.
     """
     on_error = validate_on_error(on_error)
     paths = list(paths)
+    plan = plan_for(analyzers, predicate)
     errors = RunErrors(policy=on_error)
     pairs = _map_core(
         _fold_file,
@@ -640,6 +700,7 @@ def run_files(
             "chunk_size": chunk_size,
             "on_error": on_error,
             "store": store,
+            "plan": plan,
         },
     )
     state_parts: List[_StateMap] = []
@@ -663,15 +724,21 @@ def run_dataset(
     on_error: str = ON_ERROR_STRICT,
     retry: Optional[RetryPolicy] = None,
     unit_timeout: Optional[float] = None,
+    predicate: Optional[RowPredicate] = None,
 ) -> EngineResult:
     """Run analyzers over an in-memory dataset, one volume per unit.
 
     Record-level error policies do not apply (the dataset is already
     parsed), but a non-strict ``on_error`` still tolerates permanently
     failed units, and ``retry`` / ``unit_timeout`` govern recovery.
+    ``predicate`` prunes rows like :func:`run_files` does (a volume the
+    predicate excludes is not even dispatched as a unit).
     """
     on_error = validate_on_error(on_error)
+    plan = plan_for(analyzers, predicate)
     volumes = [v for _, v in sorted(dataset.items()) if len(v)]
+    if plan is not None and plan.predicate is not None:
+        volumes = [v for v in volumes if plan.predicate.allows_volume(v.volume_id)]
     errors = RunErrors(policy=on_error)
     partials = _map_core(
         _fold_volume,
@@ -682,7 +749,7 @@ def run_dataset(
         unit_timeout,
         on_error == ON_ERROR_STRICT,
         errors,
-        {"analyzers": list(analyzers), "chunk_size": chunk_size},
+        {"analyzers": list(analyzers), "chunk_size": chunk_size, "plan": plan},
     )
     state_parts = [states for states in partials if states is not None]
     merged = _merge_states(analyzers, state_parts)
@@ -700,6 +767,7 @@ def run(
     retry: Optional[RetryPolicy] = None,
     unit_timeout: Optional[float] = None,
     store: Optional["StoreConfig"] = None,
+    predicate: Optional[RowPredicate] = None,
 ) -> EngineResult:
     """Run analyzers over a trace directory, file list, or dataset.
 
@@ -723,16 +791,21 @@ def run(
         store: optional :class:`~repro.store.StoreConfig` — serve path
             sources from the binary trace store (ignored for in-memory
             datasets, which are already columnar).
+        predicate: optional :class:`~repro.engine.plan.RowPredicate` —
+            analyze only matching rows (time window / volume set / op
+            kind).  Results are bit-identical to running unfiltered and
+            post-filtering the inputs, but the data path prunes instead
+            of materializing (see :mod:`repro.engine.plan`).
     """
     if isinstance(source, TraceDataset):
         return run_dataset(
             source, analyzers, chunk_size=chunk_size, workers=workers, progress=progress,
-            on_error=on_error, retry=retry, unit_timeout=unit_timeout,
+            on_error=on_error, retry=retry, unit_timeout=unit_timeout, predicate=predicate,
         )
     if isinstance(source, str):
         source = list_trace_files(source)
     return run_files(
         source, analyzers, fmt=fmt, chunk_size=chunk_size, workers=workers,
         progress=progress, on_error=on_error, retry=retry, unit_timeout=unit_timeout,
-        store=store,
+        store=store, predicate=predicate,
     )

@@ -41,6 +41,8 @@ from .manifest import (
     STORE_FORMAT_VERSION,
     Manifest,
     SourceStamp,
+    ZoneMaps,
+    ZoneStats,
     compatible_policy,
     entry_dir,
 )
@@ -63,6 +65,8 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "Manifest",
     "SourceStamp",
+    "ZoneMaps",
+    "ZoneStats",
     "compatible_policy",
     "entry_dir",
     "IngestFileReport",

@@ -31,6 +31,7 @@ from .manifest import (
     RESPONSE_FILE,
     Manifest,
     SourceStamp,
+    ZoneMaps,
     entry_dir,
 )
 
@@ -98,6 +99,45 @@ def _concat(parts: List[np.ndarray], dtype) -> np.ndarray:
     return np.concatenate(parts)
 
 
+def _zone_maps(
+    timestamps: np.ndarray,
+    offsets: np.ndarray,
+    is_write: np.ndarray,
+    zone_rows: int,
+) -> Optional[ZoneMaps]:
+    """Per-``zone_rows``-span statistics for the manifest (None if empty)."""
+    n = len(timestamps)
+    if n == 0:
+        return None
+    zones = ZoneMaps(
+        zone_rows=zone_rows, min_ts=[], max_ts=[], min_off=[], max_off=[],
+        n_rows=[], n_writes=[],
+    )
+    for lo in range(0, n, zone_rows):
+        s = slice(lo, min(lo + zone_rows, n))
+        zones.min_ts.append(float(timestamps[s].min()))
+        zones.max_ts.append(float(timestamps[s].max()))
+        zones.min_off.append(int(offsets[s].min()))
+        zones.max_off.append(int(offsets[s].max()))
+        zones.n_rows.append(int(s.stop - s.start))
+        zones.n_writes.append(int(np.count_nonzero(is_write[s])))
+    return zones
+
+
+def _volume_rows(codes: np.ndarray, ids: List[str], n: int) -> Dict[str, List[int]]:
+    """``volume id -> [first, last]`` file-order row index per volume."""
+    if n == 0:
+        return {}
+    if len(ids) == 1:
+        return {ids[0]: [0, n - 1]}
+    spans: Dict[str, List[int]] = {}
+    for code, vid in enumerate(ids):
+        rows = np.flatnonzero(codes == code)
+        if len(rows):
+            spans[vid] = [int(rows[0]), int(rows[-1])]
+    return spans
+
+
 def _swap_into_place(tmp: str, entry: str) -> bool:
     """Move a fully built tmp entry to its final name; False on a lost race."""
     if os.path.isdir(entry):
@@ -160,6 +200,11 @@ def build_entry(
         dropped=parse_errors.dropped if parse_errors is not None else 0,
         quarantine=list(parse_errors.sample) if parse_errors is not None else [],
         fallback_batches=int(reg.counter("parse.fallback_batches").value - fallback_before),
+        # Zone spans match the ingest batch size: on clean single-volume
+        # files served at the same chunk_size, one zone == one chunk, so
+        # zone-map skipping is exact (not just a superset bound) there.
+        zones=_zone_maps(timestamps, offsets, is_write, chunk_size),
+        volume_rows=_volume_rows(codes, ids, len(timestamps)),
     )
 
     entry = entry_dir(StoreConfig(dir=store_dir).dir_for(path), path)

@@ -14,7 +14,12 @@ still speaks for the source:
   policy) the columns were produced under;
 * the ingest's **fault ledger** — the exact count of malformed lines
   dropped and the bounded quarantine sample — so a warm run reproduces
-  the cold run's error accounting bit for bit.
+  the cold run's error accounting bit for bit;
+* **zone maps** (:class:`ZoneMaps`) — per-span min/max timestamp and
+  offset, row and write counts over fixed ``zone_rows`` row spans, plus
+  per-volume ``[first, last]`` row ranges — statistics the reader uses
+  to prove whole chunks disjoint from a query predicate and skip them
+  without touching their bytes.
 """
 
 from __future__ import annotations
@@ -35,13 +40,17 @@ __all__ = [
     "CODES_FILE",
     "RESPONSE_FILE",
     "SourceStamp",
+    "ZoneMaps",
+    "ZoneStats",
     "Manifest",
     "entry_dir",
     "compatible_policy",
 ]
 
 #: On-disk layout version; bump when the segment layout changes.
-STORE_FORMAT_VERSION = 1
+#: v2: manifests carry zone maps and per-volume row ranges (query
+#: planning); v1 entries read as stale and rebuild on first use.
+STORE_FORMAT_VERSION = 2
 
 #: Version of the text-parse semantics the columns were produced by.
 #: Bump whenever :mod:`repro.engine.chunks` / :mod:`repro.trace.reader`
@@ -91,6 +100,58 @@ class SourceStamp:
 
 
 @dataclass
+class ZoneMaps:
+    """Per-span statistics over fixed ``zone_rows`` row spans.
+
+    Zone ``i`` summarizes file-order rows ``[i * zone_rows,
+    (i + 1) * zone_rows)``; list index is the zone index.  The reader
+    aggregates zones over any row range (:meth:`window`) to bound what a
+    chunk *could* contain, so a predicate provably matching nothing in
+    the bound lets the whole chunk be skipped unread.  Statistics only —
+    rows are never consulted, so the bound stays correct at any serving
+    chunk size.
+    """
+
+    zone_rows: int
+    min_ts: List[float]
+    max_ts: List[float]
+    min_off: List[int]
+    max_off: List[int]
+    n_rows: List[int]
+    n_writes: List[int]
+
+    def window(self, lo: int, hi: int) -> "ZoneStats":
+        """Aggregate statistics of the zones covering rows ``[lo, hi)``.
+
+        The covering zones may extend past the range, so the result is a
+        superset bound: anything true of no row in the bound is true of
+        no row in the range.
+        """
+        zi0 = lo // self.zone_rows
+        zi1 = min((hi - 1) // self.zone_rows + 1, len(self.min_ts))
+        return ZoneStats(
+            min_ts=min(self.min_ts[zi0:zi1]),
+            max_ts=max(self.max_ts[zi0:zi1]),
+            min_off=min(self.min_off[zi0:zi1]),
+            max_off=max(self.max_off[zi0:zi1]),
+            n_rows=sum(self.n_rows[zi0:zi1]),
+            n_writes=sum(self.n_writes[zi0:zi1]),
+        )
+
+
+@dataclass(frozen=True)
+class ZoneStats:
+    """One aggregated zone-map window (see :meth:`ZoneMaps.window`)."""
+
+    min_ts: float
+    max_ts: float
+    min_off: int
+    max_off: int
+    n_rows: int
+    n_writes: int
+
+
+@dataclass
 class Manifest:
     """Everything a warm run needs to trust and serve one entry."""
 
@@ -105,6 +166,11 @@ class Manifest:
     dropped: int = 0
     quarantine: List[QuarantineRecord] = field(default_factory=list)
     fallback_batches: int = 0
+    #: Zone-map statistics over fixed row spans (None for empty entries).
+    zones: Optional[ZoneMaps] = None
+    #: volume id -> [first, last] file-order row index of that volume's
+    #: rows (its rows need not be contiguous; this is the hull).
+    volume_rows: Dict[str, List[int]] = field(default_factory=dict)
     store_format_version: int = STORE_FORMAT_VERSION
     parser_version: int = PARSER_VERSION
 
@@ -134,6 +200,9 @@ class Manifest:
         raw = json.loads(text)
         raw["source"] = SourceStamp(**raw["source"])
         raw["quarantine"] = [QuarantineRecord(**q) for q in raw.get("quarantine", [])]
+        zones = raw.get("zones")
+        raw["zones"] = ZoneMaps(**zones) if zones else None
+        raw.setdefault("volume_rows", {})
         return cls(**raw)
 
     @classmethod

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..engine.plan import QueryPlan, RowPredicate
 from ..obs import metrics
 from ..obs.logging import get_logger
 from ..resilience import (
@@ -36,6 +37,7 @@ from .manifest import (
     COLUMN_FILES,
     RESPONSE_FILE,
     Manifest,
+    ZoneMaps,
     compatible_policy,
     entry_dir,
 )
@@ -122,17 +124,68 @@ def _replay_ledger(
             errors.sample.extend(manifest.quarantine[:room])
 
 
+def _entry_disjoint(manifest: Manifest, predicate: RowPredicate) -> bool:
+    """Can the manifest alone prove no row of the entry matches?"""
+    if predicate.volumes is not None and not any(
+        v in predicate.volumes for v in manifest.volumes
+    ):
+        return True
+    zones = manifest.zones
+    if zones is not None:
+        whole = zones.window(0, manifest.n_rows)
+        if not predicate.overlaps_window(whole.min_ts, whole.max_ts):
+            return True
+        if not predicate.matches_op_mix(whole.n_rows, whole.n_writes):
+            return True
+    return False
+
+
+def _zone_allows(
+    zones: Optional[ZoneMaps], lo: int, hi: int, predicate: RowPredicate
+) -> bool:
+    """Could rows ``[lo, hi)`` contain a predicate match, per zone maps?
+
+    The zone window is a superset of the rows, so False is a proof of
+    disjointness; True just means "cannot rule it out".
+    """
+    if zones is None:
+        return True
+    window = zones.window(lo, hi)
+    return predicate.overlaps_window(
+        window.min_ts, window.max_ts
+    ) and predicate.matches_op_mix(window.n_rows, window.n_writes)
+
+
+def _lazy_masked(arr: np.ndarray, lo: int, hi: int, mask: np.ndarray):
+    """Deferred masked copy off an mmap — materialized only if an
+    analyzer actually reads the column."""
+
+    def thunk() -> np.ndarray:
+        return np.asarray(arr[lo:hi])[mask]
+
+    return thunk
+
+
 def serve_chunks(
     entry: StoreEntry,
     chunk_size: int,
     on_error: str = ON_ERROR_STRICT,
     errors: Optional[ParseErrors] = None,
+    plan: Optional[QueryPlan] = None,
 ) -> Iterator["Chunk"]:
     """Yield the entry's rows as the text path's exact chunk stream.
 
     Single-volume entries yield read-only mmap *views* (zero copy);
     multi-volume entries replicate the text path's stable volume-sorted
     batch split (one fancy-indexed copy per chunk, same as text parsing).
+
+    With a ``plan``, only the plan's columns are ``np.load``-ed at all
+    (pruned columns never touch the page cache) and the predicate prunes
+    rows *before* materialization: whole entries and chunks the zone
+    maps prove disjoint are skipped unread
+    (``plan.files_skipped`` / ``plan.chunks_skipped``), surviving chunks
+    are masked with deferred copies, and the served row streams equal
+    the unpruned stream post-filtered.
 
     One caveat on entries with dropped malformed lines: the text path
     batches ``chunk_size`` raw *lines* (so a batch shrinks by however
@@ -150,54 +203,155 @@ def serve_chunks(
     reg.counter("store.rows").inc(manifest.n_rows)
     if manifest.n_rows == 0:
         return
+    if plan is not None and plan.is_noop():
+        plan = None
+    predicate = plan.predicate if plan is not None else None
+    n = manifest.n_rows
+    if predicate is not None and _entry_disjoint(manifest, predicate):
+        reg.counter("plan.files_skipped").inc()
+        reg.counter("plan.rows_pruned").inc(n)
+        return
+
+    wanted = plan.load_columns() if plan is not None else None
 
     def column(filename: str) -> np.ndarray:
         return np.load(os.path.join(entry.entry, filename), mmap_mode="r")
 
-    timestamps = column(COLUMN_FILES["timestamps"])
-    offsets = column(COLUMN_FILES["offsets"])
-    sizes = column(COLUMN_FILES["sizes"])
-    is_write = column(COLUMN_FILES["is_write"])
-    response = column(RESPONSE_FILE) if manifest.has_response else None
+    cols: dict = {}
+    pruned_cols = 0
+    for name, filename in COLUMN_FILES.items():
+        if wanted is None or name in wanted:
+            cols[name] = column(filename)
+        else:
+            cols[name] = None
+            pruned_cols += 1
+    if manifest.has_response and (wanted is None or "response_times" in wanted):
+        cols["response_times"] = column(RESPONSE_FILE)
+    else:
+        cols["response_times"] = None
+        if manifest.has_response:
+            pruned_cols += 1
     reg.counter("store.mmap_bytes").inc(
-        sum(
-            int(a.nbytes)
-            for a in (timestamps, offsets, sizes, is_write, response)
-            if a is not None
-        )
+        sum(int(a.nbytes) for a in cols.values() if a is not None)
     )
     chunks_total = reg.counter("store.chunks")
-    n = manifest.n_rows
+    rows_served = reg.counter("plan.rows_served")
+    rows_pruned = reg.counter("plan.rows_pruned")
+    chunks_skipped = reg.counter("plan.chunks_skipped")
+    columns_pruned = reg.counter("plan.columns_pruned")
+    zones = manifest.zones
+
+    def batch_mask(lo: int, hi: int) -> Optional[np.ndarray]:
+        """Predicate keep-mask over file-order rows [lo, hi) (None=all)."""
+        assert predicate is not None
+        return predicate.row_mask(
+            np.asarray(cols["timestamps"][lo:hi]) if predicate.needs_timestamps else None,
+            np.asarray(cols["is_write"][lo:hi]) if predicate.needs_ops else None,
+        )
+
     if not manifest.has_codes:
         volume_id = manifest.volumes[0]
         for lo in range(0, n, chunk_size):
-            s = slice(lo, min(lo + chunk_size, n))
+            hi = min(lo + chunk_size, n)
+            if predicate is not None and not _zone_allows(zones, lo, hi, predicate):
+                chunks_skipped.inc()
+                rows_pruned.inc(hi - lo)
+                continue
+            mask = batch_mask(lo, hi) if predicate is not None else None
+            kept = hi - lo
+            if mask is not None:
+                kept = int(np.count_nonzero(mask))
+                if kept == 0:
+                    chunks_skipped.inc()
+                    rows_pruned.inc(hi - lo)
+                    continue
+                if kept == hi - lo:
+                    mask = None
+                else:
+                    rows_pruned.inc(hi - lo - kept)
             chunks_total.inc()
-            yield Chunk(
-                volume_id,
-                timestamps[s],
-                offsets[s],
-                sizes[s],
-                is_write[s],
-                None if response is None else response[s],
-            )
+            if plan is not None:
+                rows_served.inc(kept)
+                if pruned_cols:
+                    columns_pruned.inc(pruned_cols)
+            if mask is None:
+                yield Chunk(
+                    volume_id,
+                    n_rows=kept,
+                    **{
+                        name: None if arr is None else arr[lo:hi]
+                        for name, arr in cols.items()
+                    },
+                )
+            else:
+                yield Chunk(
+                    volume_id,
+                    n_rows=kept,
+                    **{
+                        name: None if arr is None else _lazy_masked(arr, lo, hi, mask)
+                        for name, arr in cols.items()
+                    },
+                )
         return
+
     codes = column(CODES_FILE)
+    # Volume predicates narrow the scanned row range to the hull of the
+    # wanted volumes' rows (chunks wholly outside skip unread) and mask
+    # rows of unwanted volumes inside it.
+    row_lo, row_hi = 0, n
+    allowed: Optional[np.ndarray] = None
+    if predicate is not None and predicate.volumes is not None:
+        vset = set(predicate.volumes)
+        allowed = np.array([v in vset for v in manifest.volumes], dtype=bool)
+        spans = [
+            manifest.volume_rows[v] for v in vset if v in manifest.volume_rows
+        ]
+        if spans:
+            row_lo = min(span[0] for span in spans)
+            row_hi = max(span[1] for span in spans) + 1
     for lo in range(0, n, chunk_size):
-        batch = np.asarray(codes[lo : lo + chunk_size])
+        hi = min(lo + chunk_size, n)
+        if predicate is not None and (
+            hi <= row_lo or lo >= row_hi or not _zone_allows(zones, lo, hi, predicate)
+        ):
+            chunks_skipped.inc()
+            rows_pruned.inc(hi - lo)
+            continue
+        batch = np.asarray(codes[lo:hi])
+        keep = batch_mask(lo, hi) if predicate is not None else None
+        if allowed is not None:
+            vmask = allowed[batch]
+            keep = vmask if keep is None else keep & vmask
+        if keep is not None:
+            kept_rows = int(np.count_nonzero(keep))
+            if kept_rows == 0:
+                chunks_skipped.inc()
+                rows_pruned.inc(hi - lo)
+                continue
+            rows_pruned.inc(hi - lo - kept_rows)
         order = np.argsort(batch, kind="stable")
         sorted_codes = batch[order]
         boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
         for seg in np.split(order, boundaries):
+            vid = manifest.volumes[int(batch[seg[0]])]
+            if keep is not None:
+                seg = seg[keep[seg]]
+                if len(seg) == 0:
+                    chunks_skipped.inc()
+                    continue
             idx = seg + lo
             chunks_total.inc()
+            if plan is not None:
+                rows_served.inc(len(seg))
+                if pruned_cols:
+                    columns_pruned.inc(pruned_cols)
             yield Chunk(
-                manifest.volumes[int(batch[seg[0]])],
-                timestamps[idx],
-                offsets[idx],
-                sizes[idx],
-                is_write[idx],
-                None if response is None else response[idx],
+                vid,
+                n_rows=len(seg),
+                **{
+                    name: None if arr is None else arr[idx]
+                    for name, arr in cols.items()
+                },
             )
 
 
@@ -209,6 +363,7 @@ def try_serve(
     on_error: str,
     errors: Optional[ParseErrors],
     store: StoreConfig,
+    plan: Optional[QueryPlan] = None,
 ) -> Optional[Iterator["Chunk"]]:
     """The engine's store fast path: serve, build-then-serve, or decline.
 
@@ -216,14 +371,15 @@ def try_serve(
     ingest when ``store.build`` is set), or ``None`` when the caller
     should fall back to text parsing.  A ``strict`` build of a malformed
     file raises the parser's exact ``TraceFormatError`` — the same
-    behavior, message, and line number as the text path.
+    behavior, message, and line number as the text path.  ``plan`` (when
+    given) is pushed down into :func:`serve_chunks`.
     """
     from .builder import build_entry
 
     reg = metrics.get_registry()
     status, entry = entry_status(path, store, fmt, skip_header, on_error)
     if status == ENTRY_FRESH and entry is not None:
-        return serve_chunks(entry, chunk_size, on_error, errors)
+        return serve_chunks(entry, chunk_size, on_error, errors, plan=plan)
     reg.counter("store.misses").inc()
     if status == ENTRY_STALE:
         reg.counter("store.stale_entries").inc()
@@ -245,4 +401,4 @@ def try_serve(
         # A concurrent builder won the swap race with a policy we cannot
         # serve; parsing text is always correct.
         return None
-    return serve_chunks(built, chunk_size, on_error, errors)
+    return serve_chunks(built, chunk_size, on_error, errors, plan=plan)

@@ -431,3 +431,125 @@ class TestCLI:
         with pytest.raises(SystemExit):
             build = __import__("repro.cli", fromlist=["build_parser"]).build_parser()
             build.parse_args(["analyze", ali_dir, "--store", "--no-store"])
+
+
+class TestZoneMaps:
+    """Manifest zone maps + volume row ranges, and plan-aware serving."""
+
+    def test_zones_and_volume_rows_persisted(self, ali_dir, tmp_path):
+        store = StoreConfig(dir=str(tmp_path / "store"))
+        path = list_trace_files(ali_dir)[0]
+        entry = ingest_file(path, fmt="alicloud", store_dir=store.dir,
+                            chunk_size=64).entry
+        manifest = Manifest.load(entry)
+        zones = manifest.zones
+        assert zones is not None and zones.zone_rows == 64
+        n_zones = (manifest.n_rows + 63) // 64
+        assert len(zones.min_ts) == n_zones
+        assert sum(zones.n_rows) == manifest.n_rows
+        # Zone stats really bound the columns they summarize.
+        stats = zones.window(0, manifest.n_rows)
+        assert stats.min_ts <= stats.max_ts
+        assert stats.n_writes <= stats.n_rows == manifest.n_rows
+        for vid, (first, last) in manifest.volume_rows.items():
+            assert vid in manifest.volumes
+            assert 0 <= first <= last < manifest.n_rows
+
+    def test_v1_entry_rebuilds_with_zones(self, ali_dir, tmp_path, monkeypatch):
+        # An entry written under the previous store format (no zone maps)
+        # must read as stale and come back with zones after rebuild.
+        store = StoreConfig(dir=str(tmp_path / "store"))
+        path = list_trace_files(ali_dir)[0]
+        entry = ingest_file(path, fmt="alicloud", store_dir=store.dir).entry
+        manifest = Manifest.load(entry)
+        manifest.zones = None
+        manifest.volume_rows = {}
+        manifest.store_format_version -= 1
+        with open(os.path.join(entry, "manifest.json"), "w", encoding="utf-8") as fh:
+            fh.write(manifest.to_json() + "\n")
+        assert entry_status(path, store, "alicloud")[0] == ENTRY_STALE
+
+        report = ingest_file(path, fmt="alicloud", store_dir=store.dir)
+        assert report.built
+        rebuilt = Manifest.load(entry)
+        assert rebuilt.zones is not None
+        assert rebuilt.volume_rows
+
+    def test_zone_map_chunk_skip_counters(self, ali_dir, tmp_path):
+        from repro.engine.plan import QueryPlan, RowPredicate
+
+        store = StoreConfig(dir=str(tmp_path / "store"))
+        ingest_dir(ali_dir, fmt="alicloud", store_dir=store.dir, chunk_size=64)
+        path = list_trace_files(ali_dir)[0]
+        manifest = Manifest.load(entry_dir(store.dir, path))
+        # A window provably past the file's last timestamp: every chunk of
+        # this file is skipped at the manifest, before any .npy is read.
+        last_ts = manifest.zones.window(0, manifest.n_rows).max_ts
+        plan = QueryPlan(predicate=RowPredicate(since=last_ts + 1.0))
+        with collecting() as registry:
+            chunks = list(iter_chunks(path, fmt="alicloud", chunk_size=64,
+                                      store=store, plan=plan))
+            assert chunks == []
+            assert registry.counter("plan.files_skipped").value == 1
+            assert registry.counter("plan.rows_pruned").value == manifest.n_rows
+        # A window covering only the file's first rows: later chunks are
+        # skipped zone by zone.
+        first_ts = manifest.zones.min_ts[0]
+        cutoff = manifest.zones.max_ts[0]
+        plan = QueryPlan(
+            predicate=RowPredicate(since=first_ts, until=cutoff + 1e-9)
+        )
+        with collecting() as registry:
+            chunks = list(iter_chunks(path, fmt="alicloud", chunk_size=64,
+                                      store=store, plan=plan))
+            assert chunks
+            assert registry.counter("plan.chunks_skipped").value > 0
+            served = registry.counter("plan.rows_served").value
+        assert served == sum(len(c.timestamps) for c in chunks)
+
+    def test_column_pruned_serving(self, ali_dir, tmp_path):
+        from repro.engine import ColumnPrunedError
+        from repro.engine.plan import QueryPlan
+
+        store = StoreConfig(dir=str(tmp_path / "store"))
+        ingest_dir(ali_dir, fmt="alicloud", store_dir=store.dir)
+        path = list_trace_files(ali_dir)[0]
+        plan = QueryPlan(columns=("timestamps", "is_write"))
+        with collecting() as registry:
+            chunks = list(iter_chunks(path, fmt="alicloud", chunk_size=64,
+                                      store=store, plan=plan))
+            assert registry.counter("plan.columns_pruned").value > 0
+        for chunk in chunks:
+            assert chunk.has_column("timestamps")
+            assert not chunk.has_column("offsets")
+            with pytest.raises(ColumnPrunedError):
+                chunk.offsets
+
+    def test_pruned_serving_matches_text_filtering(self, ali_dir, tmp_path):
+        from repro.engine.plan import QueryPlan, RowPredicate
+
+        store = StoreConfig(dir=str(tmp_path / "store"))
+        ingest_dir(ali_dir, fmt="alicloud", store_dir=store.dir)
+        plan = QueryPlan(predicate=RowPredicate(since=10.0, until=40.0))
+        for path in list_trace_files(ali_dir):
+            # The cold reference: text chunks filtered after the fact.
+            columns = {}
+            for c in iter_chunks(path, fmt="alicloud", chunk_size=64):
+                ts = c.timestamps
+                mask = (ts >= 10.0) & (ts < 40.0)
+                if not mask.any():
+                    continue
+                columns.setdefault(c.volume_id, []).append(
+                    (ts[mask].tobytes(), c.offsets[mask].tobytes())
+                )
+            want = {
+                vid: (b"".join(t for t, _ in parts), b"".join(o for _, o in parts))
+                for vid, parts in columns.items()
+            }
+            got = {}
+            for c in iter_chunks(path, fmt="alicloud", chunk_size=64,
+                                 store=store, plan=plan):
+                t, o = got.get(c.volume_id, (b"", b""))
+                got[c.volume_id] = (t + c.timestamps.tobytes(),
+                                    o + c.offsets.tobytes())
+            assert got == want

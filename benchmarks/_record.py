@@ -1,0 +1,75 @@
+"""Shared result-record helpers for the standalone benchmarks.
+
+Each benchmark used to write its own ad-hoc ``--json`` payload; those
+files were throwaways no tool could compare.  Benchmarks now emit the
+run-record schema of :mod:`repro.obs.ledger`: the per-configuration
+timing records live under ``results``, and every headline number is
+folded into the flat ``metrics`` map so ``repro runs diff`` can compare
+two benchmark runs and ``repro runs check --baseline`` can gate them in
+CI.  Records are also appended to the persistent run ledger (same
+resolution as the CLI: ``$REPRO_LEDGER_DIR`` or ``.repro/runs``) unless
+the benchmark was invoked with ``--no-ledger``.
+"""
+
+import json
+from typing import Any, Dict, List, Optional
+
+
+def timing_record(name: str, n_requests: int, seconds: float) -> Dict[str, Any]:
+    """One timed configuration, as the benchmarks have always reported it."""
+    return {
+        "name": name,
+        "n_requests": n_requests,
+        "seconds": round(seconds, 6),
+        "requests_per_second": round(n_requests / seconds, 1) if seconds > 0 else None,
+    }
+
+
+def flatten_timings(records: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Timing records -> the flat metric names the regression gate uses."""
+    flat: Dict[str, float] = {}
+    for record in records:
+        flat[f"{record['name']}.seconds"] = record["seconds"]
+        rps = record.get("requests_per_second")
+        if rps is not None:
+            flat[f"{record['name']}.requests_per_second"] = rps
+    return flat
+
+
+def write_run_record(
+    benchmark: str,
+    params: Dict[str, Any],
+    records: List[Dict[str, Any]],
+    headline: Optional[Dict[str, float]] = None,
+    json_path: Optional[str] = None,
+    no_ledger: bool = False,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble this benchmark run's record; write/append as configured.
+
+    ``headline`` entries (e.g. ``{"speedup_warm_vs_text": 44.6}``) join
+    the flat ``metrics`` map next to the per-record timings.  With
+    ``json_path`` the record is written there (the ``--json`` flag);
+    unless ``no_ledger``, it is also appended to the run ledger.
+    """
+    from repro.obs import ledger
+
+    metrics = flatten_timings(records)
+    if headline:
+        metrics.update(headline)
+    record = ledger.build_record(
+        kind=benchmark,
+        config=params,
+        metrics=metrics,
+        results=records,
+        extra=extra,
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        print(f"\nwrote {len(records)} timing records to {json_path}")
+    if not no_ledger:
+        path = ledger.append_record(record)
+        print(f"run record {record['run_id']} appended to {path}")
+    return record

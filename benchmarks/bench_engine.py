@@ -18,20 +18,24 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_engine.py --smoke     # CI-sized
     PYTHONPATH=src python benchmarks/bench_engine.py --json out.json
 
-``--json PATH`` additionally writes machine-readable records — one per
-timed configuration with ``name`` / ``n_requests`` / ``seconds`` /
-``requests_per_second`` — so benchmark runs accumulate into a perf
-trajectory that later optimization PRs can diff against.
+``--json PATH`` additionally writes the run in the ledger run-record
+schema (see :mod:`repro.obs.ledger` and ``benchmarks/_record.py``):
+per-configuration timing records under ``results``, every number also
+in the flat ``metrics`` map that ``repro runs diff`` compares and
+``repro runs check --baseline benchmarks/baselines.json`` gates in CI.
+Runs are appended to the persistent run ledger too, so the perf
+trajectory accumulates; ``--no-ledger`` opts out.
 """
 
 import argparse
-import json
 import os
 import sys
 import tempfile
 import time
 
 import numpy as np
+
+from _record import timing_record, write_run_record
 
 
 def _generate(directory: str, n_volumes: int, day_seconds: float, n_days: int) -> int:
@@ -90,15 +94,6 @@ def _bench_engine(directory: str, workers: int, chunk_size: int):
     )
 
 
-def _record(name: str, n_requests: int, seconds: float) -> dict:
-    return {
-        "name": name,
-        "n_requests": n_requests,
-        "seconds": round(seconds, 6),
-        "requests_per_second": round(n_requests / seconds, 1) if seconds > 0 else None,
-    }
-
-
 def _timed(label: str, fn, *args):
     start = time.perf_counter()
     result = fn(*args)
@@ -117,7 +112,11 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, nargs="*", default=[1, 4])
     parser.add_argument(
         "--json", default=None, metavar="PATH",
-        help="also write machine-readable timing records to PATH",
+        help="also write this run's ledger-schema record to PATH",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run's record to the run ledger",
     )
     args = parser.parse_args(argv)
 
@@ -145,7 +144,7 @@ def main(argv=None) -> int:
             _timed("columnar (legacy)", _bench_columnar, directory),
         ):
             times[label] = elapsed
-            records.append(_record(label, n_requests, elapsed))
+            records.append(timing_record(label, n_requests, elapsed))
         engine_times = {}
         for workers in args.workers:
             label = f"engine workers={workers}"
@@ -153,13 +152,15 @@ def main(argv=None) -> int:
                 label, _bench_engine, directory, workers, args.chunk_size
             )
             engine_times[workers] = elapsed
-            records.append(_record(label, n_requests, elapsed))
+            records.append(timing_record(label, n_requests, elapsed))
             assert result.n_volumes == n_volumes
 
         print("\nspeedups vs row-stream (legacy):")
         row = times["row-stream (legacy)"]
+        headline = {}
         for workers, elapsed in engine_times.items():
             print(f"  engine workers={workers}: {row / elapsed:5.2f}x")
+            headline[f"speedup_vs_row_stream_w{workers}"] = round(row / elapsed, 3)
         columnar = times["columnar (legacy)"]
         if 1 in engine_times:
             print(
@@ -167,20 +168,20 @@ def main(argv=None) -> int:
                 f"{columnar / engine_times[1]:5.2f}x"
             )
 
-        if args.json:
-            payload = {
-                "benchmark": "bench_engine",
+        write_run_record(
+            "bench_engine",
+            params={
                 "n_volumes": n_volumes,
                 "n_days": n_days,
                 "day_seconds": day_seconds,
                 "chunk_size": args.chunk_size,
                 "n_requests": n_requests,
-                "results": records,
-            }
-            with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2)
-                fh.write("\n")
-            print(f"\nwrote {len(records)} timing records to {args.json}")
+            },
+            records=records,
+            headline=headline,
+            json_path=args.json,
+            no_ledger=args.no_ledger,
+        )
     return 0
 
 

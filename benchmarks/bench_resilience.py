@@ -15,17 +15,21 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_resilience.py --smoke     # CI-sized
     PYTHONPATH=src python benchmarks/bench_resilience.py --json out.json
 
-``--json PATH`` writes one machine-readable record per timed
-configuration (``name`` / ``n_requests`` / ``seconds`` /
-``requests_per_second``), same shape as ``bench_engine.py``.
+``--json PATH`` additionally writes the run in the ledger run-record
+schema (see :mod:`repro.obs.ledger` and ``benchmarks/_record.py``):
+timing records under ``results``, every number also in the flat
+``metrics`` map that ``repro runs diff`` / ``repro runs check`` read.
+Runs are appended to the persistent run ledger too; ``--no-ledger``
+opts out.
 """
 
 import argparse
-import json
 import os
 import sys
 import tempfile
 import time
+
+from _record import timing_record, write_run_record
 
 
 def _generate(directory: str, n_volumes: int, day_seconds: float, n_days: int) -> int:
@@ -49,15 +53,6 @@ def _bench_policy(directory: str, workers: int, on_error: str, retry=None):
         on_error=on_error,
         retry=retry,
     )
-
-
-def _record(name: str, n_requests: int, seconds: float) -> dict:
-    return {
-        "name": name,
-        "n_requests": n_requests,
-        "seconds": round(seconds, 6),
-        "requests_per_second": round(n_requests / seconds, 1) if seconds > 0 else None,
-    }
 
 
 def _timed(label: str, fn, *args, **kwargs):
@@ -84,7 +79,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--json", default=None, metavar="PATH",
-        help="also write machine-readable timing records to PATH",
+        help="also write this run's ledger-schema record to PATH",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run's record to the run ledger",
     )
     args = parser.parse_args(argv)
 
@@ -110,7 +109,7 @@ def main(argv=None) -> int:
             for policy in ("strict", "skip", "quarantine"):
                 label = f"{policy} workers={workers}"
                 _, elapsed, result = _timed(label, _bench_policy, directory, workers, policy)
-                records.append(_record(label, n_requests, elapsed))
+                records.append(timing_record(label, n_requests, elapsed))
                 assert result.errors.dropped_lines == 0
                 if policy == "strict":
                     strict_times[workers] = elapsed
@@ -123,7 +122,7 @@ def main(argv=None) -> int:
             label = f"quarantine+corruption workers={workers}"
             _, elapsed, result = _timed(label, _bench_policy, directory, workers, "quarantine")
             faults.deactivate()
-            records.append(_record(label, n_requests, elapsed))
+            records.append(timing_record(label, n_requests, elapsed))
             dropped = result.errors.quarantined_lines
             print(f"    quarantined {dropped} lines "
                   f"({dropped / max(n_requests, 1):.4%} of requests)")
@@ -141,7 +140,7 @@ def main(argv=None) -> int:
                 retry=RetryPolicy(max_retries=1, backoff_base=0.0),
             )
             faults.deactivate()
-            records.append(_record(label, n_requests, elapsed))
+            records.append(timing_record(label, n_requests, elapsed))
             assert result.errors.retries == n_volumes
             assert not result.errors.failed_units
 
@@ -152,20 +151,19 @@ def main(argv=None) -> int:
                 if name.endswith(f"workers={workers}") and not name.startswith("strict"):
                     print(f"  {name:<36} {record['seconds'] / base:5.2f}x")
 
-        if args.json:
-            payload = {
-                "benchmark": "bench_resilience",
+        write_run_record(
+            "bench_resilience",
+            params={
                 "n_volumes": n_volumes,
                 "n_days": n_days,
                 "day_seconds": day_seconds,
                 "corrupt_rate": args.corrupt_rate,
                 "n_requests": n_requests,
-                "results": records,
-            }
-            with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2)
-                fh.write("\n")
-            print(f"\nwrote {len(records)} timing records to {args.json}")
+            },
+            records=records,
+            json_path=args.json,
+            no_ledger=args.no_ledger,
+        )
     return 0
 
 

@@ -21,10 +21,12 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_store.py --smoke     # CI-sized
     PYTHONPATH=src python benchmarks/bench_store.py --json out.json
 
-``--json PATH`` additionally writes machine-readable records — one per
-timed configuration with ``name`` / ``n_requests`` / ``seconds`` /
-``requests_per_second`` — plus the headline ``speedup_warm_vs_text``
-ratio (the ISSUE's acceptance bar is >= 5x at workers=1).
+``--json PATH`` additionally writes the run in the ledger run-record
+schema (see :mod:`repro.obs.ledger` and ``benchmarks/_record.py``):
+timing records under ``results``, headline ratios such as
+``speedup_warm_vs_text`` (acceptance bar >= 5x at workers=1) in the
+flat ``metrics`` map that ``repro runs check`` gates in CI.  Runs are
+appended to the persistent run ledger too; ``--no-ledger`` opts out.
 
 The ``pruning`` section then times the query planner on the warm store
 (see :mod:`repro.engine.plan`): a full scan with no column declarations,
@@ -37,13 +39,14 @@ workers=1.
 """
 
 import argparse
-import json
 import os
 import sys
 import tempfile
 import time
 
 import numpy as np
+
+from _record import timing_record, write_run_record
 
 
 def _generate(directory: str, n_volumes: int, day_seconds: float, n_days: int) -> int:
@@ -170,9 +173,9 @@ def _bench_pruning(directory, store, text_ds, chunk_size, workers_list, records)
             f"windowed run workers={workers} differs from "
             "unpruned-then-filtered reference"
         )
-        records.append(_record(f"plan full scan workers={workers}", n_rows, full_t))
-        records.append(_record(f"plan column-pruned workers={workers}", n_rows, col_t))
-        records.append(_record(f"plan windowed workers={workers}", n_rows, win_t))
+        records.append(timing_record(f"plan full scan workers={workers}", n_rows, full_t))
+        records.append(timing_record(f"plan column-pruned workers={workers}", n_rows, col_t))
+        records.append(timing_record(f"plan windowed workers={workers}", n_rows, win_t))
         section["workers"][str(workers)] = {
             "full_scan_seconds": round(full_t, 6),
             "column_pruned_seconds": round(col_t, 6),
@@ -185,15 +188,6 @@ def _bench_pruning(directory, store, text_ds, chunk_size, workers_list, records)
     section["speedup_window_vs_full"] = headline
     print(f"  windowed vs full-scan speedup (workers={workers_list[0]}): {headline:.2f}x")
     return section
-
-
-def _record(name: str, n_requests: int, seconds: float) -> dict:
-    return {
-        "name": name,
-        "n_requests": n_requests,
-        "seconds": round(seconds, 6),
-        "requests_per_second": round(n_requests / seconds, 1) if seconds > 0 else None,
-    }
 
 
 def _timed(label: str, fn, *args, **kwargs):
@@ -214,7 +208,11 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, nargs="*", default=[1, 4])
     parser.add_argument(
         "--json", default=None, metavar="PATH",
-        help="also write machine-readable timing records to PATH",
+        help="also write this run's ledger-schema record to PATH",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run's record to the run ledger",
     )
     args = parser.parse_args(argv)
 
@@ -245,7 +243,7 @@ def main(argv=None) -> int:
             label = f"text parse workers={workers}"
             elapsed, _ = _timed(label, _read, directory, workers, args.chunk_size)
             text_times[workers] = elapsed
-            records.append(_record(label, n_requests, elapsed))
+            records.append(timing_record(label, n_requests, elapsed))
 
         ingest_workers = max(args.workers)
         elapsed, reports = _timed(
@@ -253,7 +251,7 @@ def main(argv=None) -> int:
             _ingest, directory, store.dir, ingest_workers, args.chunk_size,
         )
         assert all(r.built for r in reports)
-        records.append(_record(f"ingest workers={ingest_workers}", n_requests, elapsed))
+        records.append(timing_record(f"ingest workers={ingest_workers}", n_requests, elapsed))
         store_bytes = sum(
             os.path.getsize(os.path.join(root, f))
             for root, _, files in os.walk(store.dir)
@@ -268,7 +266,7 @@ def main(argv=None) -> int:
                 label, _read, directory, workers, args.chunk_size, store=store
             )
             warm_times[workers] = elapsed
-            records.append(_record(label, n_requests, elapsed))
+            records.append(timing_record(label, n_requests, elapsed))
             _assert_identical(text_ds, store_ds, label)
         print("  bit-identity: text vs store verified at every worker count")
 
@@ -282,23 +280,25 @@ def main(argv=None) -> int:
             directory, store, text_ds, args.chunk_size, args.workers, records
         )
 
-        if args.json:
-            payload = {
-                "benchmark": "bench_store",
+        write_run_record(
+            "bench_store",
+            params={
                 "n_volumes": n_volumes,
                 "n_days": n_days,
                 "day_seconds": day_seconds,
                 "chunk_size": args.chunk_size,
                 "n_requests": n_requests,
                 "store_bytes": store_bytes,
+            },
+            records=records,
+            headline={
                 "speedup_warm_vs_text": round(headline, 3),
-                "pruning": pruning,
-                "results": records,
-            }
-            with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2)
-                fh.write("\n")
-            print(f"\nwrote {len(records)} timing records to {args.json}")
+                "speedup_window_vs_full": pruning["speedup_window_vs_full"],
+            },
+            json_path=args.json,
+            no_ledger=args.no_ledger,
+            extra={"pruning": pruning},
+        )
     return 0
 
 

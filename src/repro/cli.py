@@ -17,8 +17,20 @@ entries are built transparently on first use, or ahead of time with
 Observability (see :mod:`repro.obs`): command *results* go to stdout,
 every status line goes through the structured logger on stderr
 (``--log-level`` / ``--log-json``), and engine-backed subcommands accept
-``--metrics-out PATH`` (JSON metrics report, span timings included) and
-``--progress`` (per-unit completion events as workers finish).
+``--metrics-out PATH`` (JSON metrics report, span timings included),
+``--trace-out PATH`` (Chrome trace-event timeline with per-worker lanes,
+viewable at https://ui.perfetto.dev), and ``--progress`` (per-unit
+completion events as workers finish).
+
+Run ledger (see :mod:`repro.obs.ledger`): every engine-backed run also
+appends a schema-versioned run record — config digest, dataset
+identity, full metrics, span stats, timings, host info — to the
+persistent ledger directory (``.repro/runs/`` by default; override with
+``--ledger-dir`` or ``REPRO_LEDGER_DIR``, opt out with ``--no-ledger``).
+``repro runs list/show/diff/check`` queries the ledger;
+``repro runs check --baseline benchmarks/baselines.json`` is the CI
+perf-regression gate.  Neither the ledger nor timeline recording ever
+changes command output: instrumentation on/off is byte-identical.
 
 Fault tolerance (see :mod:`repro.resilience`): engine-backed subcommands
 accept ``--on-error {strict,skip,quarantine}``, ``--max-retries`` /
@@ -44,6 +56,7 @@ import json
 import math
 import os
 import sys
+from time import perf_counter, process_time
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
@@ -63,7 +76,9 @@ from .obs import (
     get_logger,
     metrics,
     metrics_report,
+    timeline,
     traced,
+    tracing_enabled,
 )
 from .resilience import (
     ON_ERROR_CHOICES,
@@ -139,6 +154,23 @@ def _row_predicate(args: argparse.Namespace) -> Optional[RowPredicate]:
     return RowPredicate(since=since, until=until, volumes=volumes)
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The flight-recorder knobs (see repro.obs.timeline / .ledger)."""
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace-event timeline of this run (per-worker "
+        "lanes; open at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="run-ledger location (default: $REPRO_LEDGER_DIR or .repro/runs)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run's record to the run ledger",
+    )
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """The shared execution-engine knobs (see repro.engine / repro.obs)."""
     _add_store_flags(parser)
@@ -154,6 +186,7 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="PATH",
         help="write a JSON metrics report of this run (enables span tracing)",
     )
+    _add_obs_flags(parser)
     parser.add_argument(
         "--progress", action="store_true",
         help="log per-unit completion on stderr as workers finish",
@@ -252,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write a JSON metrics report of this run (enables span tracing)",
     )
+    _add_obs_flags(ing)
     ing.add_argument(
         "--progress", action="store_true",
         help="log per-file completion on stderr as workers finish",
@@ -347,6 +381,15 @@ def build_parser() -> argparse.ArgumentParser:
         "mergeability, picklability) with the RC rule pack",
     )
     build_lint_parser(lint)
+
+    from .obs.runs import build_runs_parser
+
+    runs = sub.add_parser(
+        "runs",
+        help="query the persistent run ledger: list, show, diff, and "
+        "threshold-check records against committed baselines",
+    )
+    build_runs_parser(runs)
     return parser
 
 
@@ -728,6 +771,79 @@ def _lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _runs(args: argparse.Namespace) -> int:
+    from .obs.runs import run_runs
+
+    return run_runs(args)
+
+
+#: Subcommands whose runs land in the persistent ledger by default.
+_LEDGER_COMMANDS = frozenset({"analyze", "report", "findings", "stream-analyze", "ingest"})
+
+
+def _dataset_identity(args: argparse.Namespace) -> Dict[str, Any]:
+    """What the run analyzed, as stable absolute paths (or fleet params)."""
+    identity: Dict[str, Any] = {}
+    for key in ("trace_dir", "ali_dir", "msrc_dir"):
+        value = getattr(args, key, None)
+        if value:
+            identity[key] = os.path.abspath(value)
+    fmt = getattr(args, "format", None)
+    if fmt:
+        identity["format"] = fmt
+    return identity
+
+
+#: args entries that are run plumbing, not configuration worth digesting.
+_NON_CONFIG_ARGS = frozenset(
+    {
+        "command",
+        "log_level",
+        "log_json",
+        "output",
+        "metrics_out",
+        "trace_out",
+        "errors_out",
+        "quarantine_out",
+        "ledger_dir",
+        "no_ledger",
+        "progress",
+    }
+)
+
+
+def _append_run_record(
+    args: argparse.Namespace,
+    registry: metrics.MetricsRegistry,
+    wall: float,
+    cpu: float,
+    exit_code: Optional[int],
+) -> None:
+    """Build this run's ledger record and append it (never fails the run)."""
+    from .obs import ledger
+
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in _NON_CONFIG_ARGS
+    }
+    record = ledger.build_record(
+        kind=f"cli.{args.command}",
+        config=config,
+        dataset=_dataset_identity(args),
+        registry=registry,
+        wall_seconds=wall,
+        cpu_seconds=cpu,
+        exit_code=exit_code,
+    )
+    try:
+        path = ledger.append_record(record, getattr(args, "ledger_dir", None))
+    except OSError as exc:
+        _log.warning("ledger_unwritable", error=repr(exc))
+        return
+    _log.info("run_recorded", run_id=record["run_id"], path=path)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_lines=args.log_json)
@@ -741,19 +857,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stream-analyze": _stream_analyze,
         "validate": _validate,
         "lint": _lint,
+        "runs": _runs,
     }
     handler = handlers[args.command]
     _activate_faults(args)
     metrics_out = getattr(args, "metrics_out", None)
-    if metrics_out is None:
+    trace_out = getattr(args, "trace_out", None)
+    use_ledger = args.command in _LEDGER_COMMANDS and not getattr(args, "no_ledger", False)
+    if metrics_out is None and trace_out is None and not use_ledger:
         return handler(args)
-    # A fresh per-run registry (so repeated runs in one process don't mix)
-    # with span tracing on, written out even when the command fails.
-    with collecting() as registry, traced(True):
+    # A fresh per-run registry and timeline buffer (so repeated runs in
+    # one process don't mix), span tracing on whenever anything consumes
+    # it (a metrics report, a trace export, or the run ledger's span
+    # stats), everything written out even when the command fails.
+    # None of this touches command output: on/off is byte-identical.
+    want_spans = (
+        metrics_out is not None or trace_out is not None
+        or use_ledger or tracing_enabled()
+    )
+    want_timeline = trace_out is not None or timeline.enabled()
+    rc: Optional[int] = None
+    start, cpu_start = perf_counter(), process_time()
+    with collecting() as registry, timeline.collecting() as events, \
+            traced(want_spans), timeline.recording(want_timeline):
         try:
-            return handler(args)
+            rc = handler(args)
         finally:
-            _write_metrics(metrics_out, registry)
+            wall, cpu = perf_counter() - start, process_time() - cpu_start
+            if metrics_out:
+                _write_metrics(metrics_out, registry)
+            if trace_out:
+                timeline.write_chrome_trace(trace_out, events.events)
+                _log.info("trace_written", path=trace_out, events=len(events.events))
+            if use_ledger:
+                _append_run_record(args, registry, wall, cpu, rc)
+    return rc if rc is not None else 1
 
 
 if __name__ == "__main__":

@@ -24,6 +24,10 @@ Every fan-out is observable (:mod:`repro.obs`) and fault-tolerant
   registry in submission order, so counter totals are identical at any
   worker count.  Per-unit wall times land in ``engine.unit_seconds``, and
   each fan-out sets ``engine.wall_seconds`` / ``engine.utilization``.
+  With timeline recording on (:mod:`repro.obs.timeline`, the CLI's
+  ``--trace-out``) every unit also records a timestamped ``unit`` event
+  on its worker's lane, shipped back and merged in the same submission
+  order, so per-worker timelines and straggler gaps are reconstructable.
 * a unit that raises is retried up to ``retry.max_retries`` times with
   capped deterministic backoff (``engine.retries``); a unit that exhausts
   its budget is a :class:`~repro.resilience.UnitFailure`
@@ -73,7 +77,7 @@ from typing import (
 )
 
 from .. import faults
-from ..obs import metrics
+from ..obs import metrics, timeline
 from ..obs.tracing import span
 from ..resilience import (
     ON_ERROR_STRICT,
@@ -116,27 +120,34 @@ R = TypeVar("R")
 #: analyzer index -> volume id -> accumulated state
 _StateMap = Dict[int, Dict[str, Any]]
 
-#: unit result as it travels back from execution: (value, metrics snapshot);
-#: the snapshot is None for units that ran in-process (their metrics
-#: recorded directly into the caller's registry).
-_UnitOut = Tuple[Any, Optional[Dict[str, Any]]]
+#: unit result as it travels back from execution: (value, metrics
+#: snapshot, timeline events); snapshot and events are None for units
+#: that ran in-process (their metrics and events record directly into
+#: the caller's registry/buffer) and events is None when timeline
+#: recording is off.
+_UnitOut = Tuple[Any, Optional[Dict[str, Any]], Optional[List[timeline.Event]]]
 
 
 def _instrumented_unit(
     bound: Callable[..., Any], item: Any, label: str, index: int, attempt: int
 ) -> _UnitOut:
-    """Run one unit in its own registry; return ``(result, snapshot)``.
+    """Run one unit in its own registry; return ``(result, snapshot, events)``.
 
-    The fresh registry means fork-inherited parent metrics never leak
-    into a worker's snapshot.  Fault injection (when a plan is active)
-    fires inside the registry so injected-fault counters ship back too.
+    The fresh registry (and timeline buffer) means fork-inherited parent
+    state never leaks into a worker's snapshot.  Fault injection (when a
+    plan is active) fires inside the registry so injected-fault counters
+    ship back too.  Timeline events from an attempt that raises are lost
+    with the attempt — only completed attempts ship events.
     """
-    with metrics.collecting() as reg:
-        start = perf_counter()
-        faults.inject_unit_fault(label, index, attempt, in_worker=True)
-        out = bound(item)
-        reg.histogram("engine.unit_seconds").observe(perf_counter() - start)
-    return out, reg.snapshot()
+    with metrics.collecting() as reg, timeline.collecting() as buf:
+        with timeline.unit(label, index):
+            start = perf_counter()
+            faults.inject_unit_fault(label, index, attempt, in_worker=True)
+            out = bound(item)
+            end = perf_counter()
+            reg.histogram("engine.unit_seconds").observe(end - start)
+            timeline.record("unit", start, end)
+    return out, reg.snapshot(), (buf.events or None)
 
 
 def _record_fanout(reg: metrics.MetricsRegistry, busy: float, wall: float, workers: int) -> None:
@@ -198,28 +209,30 @@ def _run_inprocess(
     unit_seconds = reg.histogram("engine.unit_seconds")
     busy = 0.0
     for i in indices:
-        while True:
-            attempts[i] += 1
-            t0 = perf_counter()
-            try:
-                faults.inject_unit_fault(labels[i], i, attempts[i], in_worker=False)
-                value = bound(items[i])
-            except Exception as exc:
-                busy += perf_counter() - t0
-                if fail_fast and attempts[i] >= allowance[i]:
-                    raise
-                if _fail_or_retry(
-                    i, "exception", repr(exc), labels, attempts, allowance, retry, errors, reg
-                ):
-                    note_done()
-                    break
-                continue
-            elapsed = perf_counter() - t0
-            busy += elapsed
-            unit_seconds.observe(elapsed)
-            outs[i] = (value, None)
-            note_done()
-            break
+        with timeline.unit(labels[i], i):
+            while True:
+                attempts[i] += 1
+                t0 = perf_counter()
+                try:
+                    faults.inject_unit_fault(labels[i], i, attempts[i], in_worker=False)
+                    value = bound(items[i])
+                except Exception as exc:
+                    busy += perf_counter() - t0
+                    if fail_fast and attempts[i] >= allowance[i]:
+                        raise
+                    if _fail_or_retry(
+                        i, "exception", repr(exc), labels, attempts, allowance, retry, errors, reg
+                    ):
+                        note_done()
+                        break
+                    continue
+                elapsed = perf_counter() - t0
+                busy += elapsed
+                unit_seconds.observe(elapsed)
+                timeline.record("unit", t0, t0 + elapsed)
+                outs[i] = (value, None, None)
+                note_done()
+                break
     return busy
 
 
@@ -384,14 +397,20 @@ def _map_core(
             errors, outs, fail_fast, reg, note_done,
         )
     results: List[Optional[Any]] = []
+    tl = timeline.get_timeline()
     for out in outs:
         if out is None:
             results.append(None)
             continue
-        value, snap = out
+        value, snap, events = out
         if snap is not None:
             busy += snap["histograms"].get("engine.unit_seconds", {}).get("sum", 0.0)
             reg.merge_snapshot(snap)
+        if events and timeline.enabled():
+            # Shipped-back worker events fold in submission (sorted-unit)
+            # order — the merged list is deterministic for a given unit
+            # order no matter which worker finished first.
+            tl.extend(events)
         results.append(value)
     _record_fanout(reg, busy, perf_counter() - start, workers if pooled else 1)
     return results

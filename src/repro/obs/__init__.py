@@ -14,6 +14,17 @@ without cycles):
 * :mod:`~repro.obs.logging` — structured event logging, plain or JSON
   lines, configured once (the CLI's ``--log-level`` / ``--log-json``).
 
+Two flight-recorder layers build on those (the CLI's ``--trace-out`` and
+run ledger):
+
+* :mod:`~repro.obs.timeline` — buffered timeline events (span begin/end
+  with monotonic timestamps, worker pid, unit label) shipped back with
+  worker snapshots and exported in Chrome trace-event format, so
+  Perfetto renders per-worker lanes and straggler gaps.
+* :mod:`~repro.obs.ledger` — schema-versioned run records appended
+  atomically to a persistent ledger directory; queried, diffed, and
+  regression-gated by ``repro runs`` (:mod:`~repro.obs.runs`).
+
 Quickstart::
 
     from repro import obs
@@ -28,6 +39,7 @@ Quickstart::
     report = obs.metrics_report(reg)  # JSON-ready dict
 """
 
+from . import ledger, timeline
 from .logging import StructuredLogger, configure_logging, get_logger
 from .metrics import (
     Counter,
@@ -47,6 +59,8 @@ from .tracing import enabled as tracing_enabled
 from .tracing import span, traced
 
 __all__ = [
+    "ledger",
+    "timeline",
     "StructuredLogger",
     "configure_logging",
     "get_logger",

@@ -110,6 +110,42 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
 
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (``0 <= q <= 100``) from the buckets.
+
+        The nearest-rank observation is located in its power-of-two
+        bucket and linearly interpolated across the bucket's range, then
+        clamped to the exact ``[min, max]``.  The result is a pure
+        function of the mergeable state (buckets, count, min, max), so
+        percentiles of a merged histogram equal percentiles of one
+        histogram fed all observations — at any split (merge-invariant,
+        like every other metric).  Worst-case error is one bucket width,
+        i.e. a factor of 2.
+        """
+        if not self.count:
+            return float("nan")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        cumulative = 0
+        for key in sorted(self.buckets):
+            n = self.buckets[key]
+            if cumulative + n >= rank:
+                if key == _UNDERFLOW_BUCKET:
+                    # Non-positive observations: no meaningful bucket
+                    # span, report the exact observed minimum.
+                    return self.min
+                lo, hi = 2.0 ** (key - 1), 2.0 ** key
+                fraction = (rank - cumulative) / n
+                value = lo + fraction * (hi - lo)
+                return min(max(value, self.min), self.max)
+            cumulative += n
+        return self.max
+
+    def percentiles(self) -> Dict[str, float]:
+        """The report's ``{"p50": ..., "p90": ..., "p99": ...}`` summary."""
+        return {f"p{q:g}": self.percentile(q) for q in (50, 90, 99)}
+
     def __repr__(self) -> str:
         return f"Histogram(count={self.count}, sum={self.sum:g})"
 
@@ -204,6 +240,9 @@ class MetricsRegistry:
                     "mean": h.mean if h.count else None,
                     "min": h.min if h.count else None,
                     "max": h.max if h.count else None,
+                    "p50": h.percentile(50) if h.count else None,
+                    "p90": h.percentile(90) if h.count else None,
+                    "p99": h.percentile(99) if h.count else None,
                     "buckets": {
                         _bucket_label(k): h.buckets[k] for k in sorted(h.buckets)
                     },

@@ -1,0 +1,325 @@
+"""``repro runs`` — list, show, diff, and threshold-check ledger records.
+
+The query side of :mod:`repro.obs.ledger`:
+
+* ``repro runs list`` — one line per record (id, kind, when, wall time).
+* ``repro runs show <run>`` — the full record JSON.
+* ``repro runs diff <a> <b>`` — per-metric deltas between two records'
+  flat ``metrics`` maps.
+* ``repro runs check <run> --baseline benchmarks/baselines.json`` — the
+  CI perf-regression gate: compare a record's metrics against committed
+  per-metric baselines with regression thresholds; nonzero exit on any
+  breach (or any baselined metric missing from the record).
+
+A ``<run>`` reference is a run-id prefix resolved against the ledger
+directory, a path to a record JSON file (e.g. a benchmark's ``--json``
+output), or the literal ``latest``.
+
+Baseline files are JSON::
+
+    {
+      "schema_version": 1,
+      "records": {
+        "bench_engine": {
+          "metrics": {
+            "engine workers=1.requests_per_second":
+              {"baseline": 250000.0, "direction": "higher", "max_regression": 0.9}
+          }
+        }
+      }
+    }
+
+``direction`` says which way is better (``higher`` for throughput,
+``lower`` for seconds); ``max_regression`` is the tolerated fractional
+move in the *worse* direction before the gate trips — deliberately
+generous in CI, where machine noise is real, while still catching
+order-of-magnitude slowdowns.  ``repro runs check --update`` rewrites
+the baseline values from the given record (the explicit update path
+after an intentional perf change); thresholds and directions are kept.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import ledger
+from .logging import get_logger
+
+__all__ = ["build_runs_parser", "run_runs", "diff_metrics", "check_metrics"]
+
+_log = get_logger("repro.runs")
+
+
+def build_runs_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``runs`` subcommands to the given (sub)parser."""
+    sub = parser.add_subparsers(dest="runs_command", required=True)
+
+    def add_ledger_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger-dir", default=None, metavar="DIR",
+            help="ledger location (default: $REPRO_LEDGER_DIR or .repro/runs)",
+        )
+
+    ls = sub.add_parser("list", help="list ledger records, oldest first")
+    add_ledger_dir(ls)
+    ls.add_argument("--kind", default=None, help="only records of this kind")
+    ls.add_argument(
+        "--limit", type=int, default=0, metavar="N", help="show only the last N records"
+    )
+    ls.add_argument("--json", action="store_true", dest="as_json", help="JSON output")
+
+    show = sub.add_parser("show", help="print one record's full JSON")
+    add_ledger_dir(show)
+    show.add_argument("run", help="run-id prefix, record path, or 'latest'")
+
+    diff = sub.add_parser("diff", help="per-metric deltas between two records")
+    add_ledger_dir(diff)
+    diff.add_argument("run_a", help="baseline-side record reference")
+    diff.add_argument("run_b", help="candidate-side record reference")
+    diff.add_argument("--json", action="store_true", dest="as_json", help="JSON output")
+    diff.add_argument(
+        "--prefix", default=None, metavar="P", help="only metrics whose name starts with P"
+    )
+
+    check = sub.add_parser(
+        "check", help="gate a record against committed per-metric baselines"
+    )
+    add_ledger_dir(check)
+    check.add_argument("run", help="run-id prefix, record path, or 'latest'")
+    check.add_argument(
+        "--baseline", required=True, metavar="PATH", help="baseline JSON file"
+    )
+    check.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline values from this record instead of checking",
+    )
+    check.add_argument("--json", action="store_true", dest="as_json", help="JSON output")
+
+
+def _resolve(ref: str, ledger_dir: Optional[str], kind: Optional[str] = None) -> str:
+    """A run reference -> record path (see module docstring for forms)."""
+    if os.path.isfile(ref):
+        return ref
+    paths = ledger.list_records(ledger_dir)
+    if kind is not None:
+        paths = [p for p in paths if ledger.load_record(p).get("kind") == kind]
+    if ref == "latest":
+        if not paths:
+            raise FileNotFoundError(
+                f"no records in ledger {ledger.resolve_ledger_dir(ledger_dir)!r}"
+            )
+        return paths[-1]
+    matches = [p for p in paths if os.path.basename(p).startswith(ref)]
+    if not matches:
+        raise FileNotFoundError(
+            f"no record matching {ref!r} in ledger "
+            f"{ledger.resolve_ledger_dir(ledger_dir)!r}"
+        )
+    if len(matches) > 1:
+        ids = ", ".join(os.path.basename(m) for m in matches)
+        raise ValueError(f"ambiguous run reference {ref!r}: {ids}")
+    return matches[0]
+
+
+# -- list / show / diff ------------------------------------------------------
+
+
+def _list(args: argparse.Namespace) -> int:
+    rows: List[Dict[str, Any]] = []
+    for path in ledger.list_records(args.ledger_dir):
+        record = ledger.load_record(path)
+        if args.kind and record.get("kind") != args.kind:
+            continue
+        rows.append(
+            {
+                "run_id": record.get("run_id"),
+                "kind": record.get("kind"),
+                "created_at": record.get("created_at"),
+                "config_digest": record.get("config_digest"),
+                "wall_seconds": record.get("timings", {}).get("wall_seconds"),
+                "exit_code": record.get("exit_code"),
+            }
+        )
+    if args.limit > 0:
+        rows = rows[-args.limit :]
+    if args.as_json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print(f"(no records in {ledger.resolve_ledger_dir(args.ledger_dir)})")
+        return 0
+    for row in rows:
+        wall = row["wall_seconds"]
+        tail = f"  wall={wall:.3f}s" if wall is not None else ""
+        print(f"{row['run_id']}  {row['kind']:<20} {row['created_at']}{tail}")
+    return 0
+
+
+def _show(args: argparse.Namespace) -> int:
+    record = ledger.load_record(_resolve(args.run, args.ledger_dir))
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def diff_metrics(
+    a: Dict[str, Any], b: Dict[str, Any], prefix: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Per-metric rows comparing two records' flat ``metrics`` maps."""
+    metrics_a = a.get("metrics", {}) or {}
+    metrics_b = b.get("metrics", {}) or {}
+    rows = []
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        if prefix and not name.startswith(prefix):
+            continue
+        va, vb = metrics_a.get(name), metrics_b.get(name)
+        row: Dict[str, Any] = {"metric": name, "a": va, "b": vb}
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            row["delta"] = vb - va
+            row["ratio"] = (vb / va) if va else None
+        rows.append(row)
+    return rows
+
+
+def _diff(args: argparse.Namespace) -> int:
+    record_a = ledger.load_record(_resolve(args.run_a, args.ledger_dir))
+    record_b = ledger.load_record(_resolve(args.run_b, args.ledger_dir))
+    rows = diff_metrics(record_a, record_b, prefix=args.prefix)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "a": record_a.get("run_id"),
+                    "b": record_b.get("run_id"),
+                    "metrics": rows,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"a: {record_a.get('run_id')} ({record_a.get('kind')})")
+    print(f"b: {record_b.get('run_id')} ({record_b.get('kind')})")
+    if not rows:
+        print("(no metrics)")
+        return 0
+    width = max(len(r["metric"]) for r in rows)
+    for row in rows:
+        a, b = row["a"], row["b"]
+        if "delta" in row:
+            ratio = f"{row['ratio']:.3f}x" if row["ratio"] is not None else "-"
+            print(
+                f"  {row['metric']:<{width}}  {a:>14.6g}  ->  {b:>14.6g}  "
+                f"({row['delta']:+.6g}, {ratio})"
+            )
+        else:
+            print(f"  {row['metric']:<{width}}  {a!r:>14}  ->  {b!r:>14}")
+    return 0
+
+
+# -- check (the regression gate) ---------------------------------------------
+
+
+def check_metrics(
+    record: Dict[str, Any], baseline_entry: Dict[str, Any]
+) -> Tuple[bool, List[Dict[str, Any]]]:
+    """Evaluate one record against one baseline entry's metric table.
+
+    Returns ``(ok, rows)`` where each row reports the metric, baseline,
+    observed value, fractional regression (positive = worse), the
+    allowed ``max_regression``, and a status of ``ok`` / ``breach`` /
+    ``missing``.  A metric named by the baseline but absent from the
+    record is a failure — a silently dropped benchmark must not pass.
+    """
+    flat = record.get("metrics", {}) or {}
+    rows: List[Dict[str, Any]] = []
+    ok = True
+    for name, spec in sorted(baseline_entry.get("metrics", {}).items()):
+        base = float(spec["baseline"])
+        direction = spec.get("direction", "higher")
+        allowed = float(spec.get("max_regression", 0.5))
+        value = flat.get(name)
+        row: Dict[str, Any] = {
+            "metric": name,
+            "baseline": base,
+            "value": value,
+            "direction": direction,
+            "max_regression": allowed,
+        }
+        if not isinstance(value, (int, float)):
+            row["status"] = "missing"
+            ok = False
+        else:
+            if direction == "lower":
+                regression = (value - base) / base if base else 0.0
+            else:
+                regression = (base - value) / base if base else 0.0
+            row["regression"] = regression
+            row["status"] = "breach" if regression > allowed else "ok"
+            ok = ok and row["status"] == "ok"
+        rows.append(row)
+    return ok, rows
+
+
+def _update_baseline(
+    baselines: Dict[str, Any], kind: str, record: Dict[str, Any], path: str
+) -> int:
+    entry = baselines.setdefault("records", {}).setdefault(kind, {"metrics": {}})
+    flat = record.get("metrics", {}) or {}
+    updated, missing = 0, []
+    for name, spec in sorted(entry.get("metrics", {}).items()):
+        value = flat.get(name)
+        if isinstance(value, (int, float)):
+            spec["baseline"] = value
+            updated += 1
+        else:
+            missing.append(name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baselines, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    _log.info("baseline_updated", path=path, kind=kind, metrics=updated)
+    for name in missing:
+        _log.warning("baseline_metric_missing", metric=name, kind=kind)
+    print(f"updated {updated} baseline value(s) for {kind!r} in {path}")
+    return 0 if not missing else 1
+
+
+def _check(args: argparse.Namespace) -> int:
+    record = ledger.load_record(_resolve(args.run, args.ledger_dir))
+    kind = record.get("kind", "")
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        baselines = json.load(fh)
+    if args.update:
+        return _update_baseline(baselines, kind, record, args.baseline)
+    entry = baselines.get("records", {}).get(kind)
+    if entry is None:
+        print(f"FAIL: no baseline entry for kind {kind!r} in {args.baseline}")
+        return 1
+    ok, rows = check_metrics(record, entry)
+    if args.as_json:
+        print(
+            json.dumps(
+                {"run_id": record.get("run_id"), "kind": kind, "ok": ok, "checks": rows},
+                indent=2,
+            )
+        )
+        return 0 if ok else 1
+    for row in rows:
+        status = row["status"].upper()
+        if row["status"] == "missing":
+            print(f"  {status:<6} {row['metric']}: metric absent from record")
+            continue
+        print(
+            f"  {status:<6} {row['metric']}: {row['value']:.6g} vs baseline "
+            f"{row['baseline']:.6g} ({row['direction']} is better, "
+            f"regression {row['regression']:+.1%}, allowed {row['max_regression']:.0%})"
+        )
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{verdict}: {record.get('run_id')} against {args.baseline} ({kind})")
+    return 0 if ok else 1
+
+
+def run_runs(args: argparse.Namespace) -> int:
+    handlers = {"list": _list, "show": _show, "diff": _diff, "check": _check}
+    return handlers[args.runs_command](args)

@@ -1,0 +1,253 @@
+"""Buffered timeline events: who ran what, when, on which worker.
+
+:mod:`repro.obs.tracing` answers "how long did stage X take in
+aggregate"; this module answers "what was worker 3 doing at t=1.4s" —
+the question straggler skew actually lives in.  When enabled, every
+span records a **timeline event** ``(name, start, end, pid, unit label,
+unit index)`` with monotonic :func:`time.perf_counter` timestamps into
+the current :class:`Timeline` buffer, and the engine records one
+``unit`` event around each unit of work.  Worker processes buffer their
+own events (:func:`collecting`, exactly like metrics registries) and
+ship them back with their unit snapshots; the parent extends its buffer
+in submission order, so the merged event list is deterministic for a
+given unit order regardless of completion order.
+
+Enablement mirrors tracing: a module global inherited by ``fork``
+workers, plus the ``REPRO_TIMELINE`` environment variable read at import
+time so ``spawn`` workers come up recording too (the same handoff
+:mod:`repro.faults` uses).  Disabled (the default), :func:`record` is a
+single flag check.
+
+:func:`chrome_trace` / :func:`write_chrome_trace` export a buffer in
+Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON that
+``chrome://tracing`` and https://ui.perfetto.dev render): one lane
+(``tid``) per OS process, complete (``"ph": "X"``) slices per event, so
+per-worker unit timelines — and the idle gaps between them — are
+visible at a glance.
+
+Timestamps are ``perf_counter`` readings, which on the supported
+platforms tick from a system-wide monotonic clock, so parent and worker
+events share a timebase; the export normalizes them to microseconds
+since the earliest event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ENV_VAR",
+    "Event",
+    "Timeline",
+    "get_timeline",
+    "collecting",
+    "recording",
+    "record",
+    "unit",
+    "enable",
+    "disable",
+    "enabled",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Environment variable propagating the enabled flag to spawn workers.
+ENV_VAR = "REPRO_TIMELINE"
+
+#: One timeline event: (name, start, end, pid, unit label, unit index).
+#: Start/end are perf_counter seconds; pid identifies the worker lane.
+Event = Tuple[str, float, float, int, str, int]
+
+_enabled = os.environ.get(ENV_VAR, "") not in ("", "0")
+
+#: Unit context (set by the engine around each unit of work) stamped
+#: onto every event recorded while the unit runs.
+_unit_label = ""
+_unit_index = -1
+
+
+class Timeline:
+    """An append-only buffer of timeline events."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def record(self, name: str, start: float, end: float) -> None:
+        """Append one event stamped with this process and unit context."""
+        self.events.append((name, start, end, os.getpid(), _unit_label, _unit_index))
+
+    def extend(self, events: Sequence[Event]) -> None:
+        """Fold a shipped-back worker buffer in (submission order)."""
+        self.events.extend(tuple(e) for e in events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"Timeline({len(self.events)} events)"
+
+
+#: Current-buffer stack; index 0 is the process-wide default buffer.
+_STACK: List[Timeline] = [Timeline()]
+
+
+def get_timeline() -> Timeline:
+    """The buffer events currently record into."""
+    return _STACK[-1]
+
+
+@contextmanager
+def collecting(buffer: Optional[Timeline] = None) -> Iterator[Timeline]:
+    """Redirect event recording to a fresh (or given) buffer.
+
+    Worker processes wrap each unit in ``collecting()`` so the events
+    they ship back contain only that unit's activity, even under
+    ``fork`` where the parent's buffer is inherited.
+    """
+    buffer = buffer if buffer is not None else Timeline()
+    _STACK.append(buffer)
+    try:
+        yield buffer
+    finally:
+        _STACK.pop()
+
+
+def record(name: str, start: float, end: float) -> None:
+    """Record one event into the current buffer (no-op when disabled)."""
+    if _enabled:
+        _STACK[-1].record(name, start, end)
+
+
+@contextmanager
+def unit(label: str, index: int) -> Iterator[None]:
+    """Stamp events recorded inside the block with a unit label/index."""
+    global _unit_label, _unit_index
+    prev = (_unit_label, _unit_index)
+    _unit_label, _unit_index = label, index
+    try:
+        yield
+    finally:
+        _unit_label, _unit_index = prev
+
+
+def enable() -> None:
+    """Turn timeline recording on, here and (via env) in spawn workers."""
+    global _enabled
+    _enabled = True
+    os.environ[ENV_VAR] = "1"
+
+
+def disable() -> None:
+    """Turn timeline recording off and clear the worker handoff."""
+    global _enabled
+    _enabled = False
+    os.environ.pop(ENV_VAR, None)
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+class _Recording:
+    """Scoped enable/disable that restores the prior state (and env)."""
+
+    __slots__ = ("on", "_prev")
+
+    def __init__(self, on: bool) -> None:
+        self.on = on
+        self._prev = False
+
+    def __enter__(self) -> "_Recording":
+        self._prev = _enabled
+        if self.on:
+            enable()
+        else:
+            disable()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._prev:
+            enable()
+        else:
+            disable()
+        return False
+
+
+def recording(on: bool = True) -> _Recording:
+    """``with recording(): ...`` — scoped timeline enablement."""
+    return _Recording(on)
+
+
+# -- Chrome trace-event export ----------------------------------------------
+
+
+def _lane_names(events: Sequence[Event]) -> Dict[int, str]:
+    """Stable lane labels: the exporting process is ``parent``, worker
+    pids are numbered in order of first appearance."""
+    names: Dict[int, str] = {}
+    me = os.getpid()
+    n_workers = 0
+    for event in events:
+        pid = event[3]
+        if pid in names:
+            continue
+        if pid == me:
+            names[pid] = "parent"
+        else:
+            n_workers += 1
+            names[pid] = f"worker-{n_workers}"
+    return names
+
+
+def chrome_trace(events: Sequence[Event]) -> Dict[str, Any]:
+    """A Chrome trace-event document for ``events``.
+
+    Each event becomes a complete (``"ph": "X"``) slice on the lane
+    (``tid``) of the process that recorded it, with timestamps in
+    microseconds relative to the earliest event.  Lane-name metadata
+    makes Perfetto show ``parent`` / ``worker-N`` instead of raw pids.
+    """
+    lanes = _lane_names(events)
+    t0 = min((e[1] for e in events), default=0.0)
+    trace_events: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": 1, "args": {"name": "repro"}}
+    ]
+    for sort_index, (pid, name) in enumerate(lanes.items()):
+        trace_events.append(
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": pid, "args": {"name": name}}
+        )
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": 1,
+                "tid": pid,
+                "args": {"sort_index": sort_index},
+            }
+        )
+    for name, start, end, pid, unit_label, unit_index in events:
+        slice_event: Dict[str, Any] = {
+            "name": name,
+            "cat": "unit" if name == "unit" else "span",
+            "ph": "X",
+            "ts": round((start - t0) * 1e6, 3),
+            "dur": round(max(0.0, end - start) * 1e6, 3),
+            "pid": 1,
+            "tid": pid,
+        }
+        if unit_label:
+            slice_event["args"] = {"unit": unit_label, "unit_index": unit_index}
+        trace_events.append(slice_event)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: Sequence[Event]) -> None:
+    """Write ``events`` to ``path`` as a Chrome trace-event JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events), fh, indent=1)
+        fh.write("\n")

@@ -10,26 +10,36 @@ Usage::
 When tracing is disabled (the default) :func:`span` returns one shared
 no-op context manager — no allocation, no clock reads, no registry
 lookups — so instrumentation can stay on hot paths permanently.  When
-enabled (:func:`enable`, or the CLI's ``--metrics-out``), each span
-records its wall time into the current metrics registry as the histogram
-``span.<name>.seconds`` (whose ``count`` is the number of entries).
+enabled (:func:`enable`, or the CLI's ``--metrics-out`` /
+``--trace-out``), each span records its wall time into the current
+metrics registry as the histogram ``span.<name>.seconds`` (whose
+``count`` is the number of entries), and — when timeline recording is
+also on (:mod:`repro.obs.timeline`) — a timestamped timeline event into
+the current buffer.
 
-The enabled flag is a module global: worker processes started with the
-``fork`` method inherit it, so spans inside process-pool units land in the
-per-worker registries that :func:`repro.engine.runner.parallel_map` ships
-back.  Under ``spawn`` start methods workers come up with tracing
-disabled (their counters still flow; only span timings are absent).
+The enabled flag is a module global inherited by ``fork`` workers *and*
+mirrored into the ``REPRO_TRACE`` environment variable, which this
+module reads back at import time — so workers started with ``spawn``
+start methods (fresh interpreters, fresh module state) come up with
+tracing enabled too, exactly the handoff :mod:`repro.faults` uses for
+fault plans.  Span timings therefore land in the per-worker registries
+that :func:`repro.engine.runner.parallel_map` ships back regardless of
+the start method.
 """
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 
-from . import metrics
+from . import metrics, timeline
 
-__all__ = ["span", "enable", "disable", "enabled", "traced"]
+__all__ = ["ENV_VAR", "span", "enable", "disable", "enabled", "traced"]
 
-_enabled = False
+#: Environment variable propagating the enabled flag to spawn workers.
+ENV_VAR = "REPRO_TRACE"
+
+_enabled = os.environ.get(ENV_VAR, "") not in ("", "0")
 
 
 class _NullSpan:
@@ -59,8 +69,9 @@ class _Span:
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        elapsed = perf_counter() - self._start
-        metrics.histogram(f"span.{self.name}.seconds").observe(elapsed)
+        end = perf_counter()
+        metrics.histogram(f"span.{self.name}.seconds").observe(end - self._start)
+        timeline.record(self.name, self._start, end)
         return False
 
 
@@ -72,15 +83,17 @@ def span(name: str):
 
 
 def enable() -> None:
-    """Turn span timing on (records into the current metrics registry)."""
+    """Turn span timing on, here and (via env) in spawn workers."""
     global _enabled
     _enabled = True
+    os.environ[ENV_VAR] = "1"
 
 
 def disable() -> None:
-    """Turn span timing off (:func:`span` returns the shared no-op)."""
+    """Turn span timing off and clear the spawn-worker handoff."""
     global _enabled
     _enabled = False
+    os.environ.pop(ENV_VAR, None)
 
 
 def enabled() -> bool:
@@ -97,14 +110,20 @@ class _Traced:
         self._prev = False
 
     def __enter__(self) -> "_Traced":
-        global _enabled
         self._prev = _enabled
-        _enabled = self.on
+        if self.on:
+            enable()
+        else:
+            disable()
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        global _enabled
-        _enabled = self._prev
+        # enable/disable keep the env var consistent with the flag, so
+        # restoring through them restores the spawn handoff too.
+        if self._prev:
+            enable()
+        else:
+            disable()
         return False
 
 

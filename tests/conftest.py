@@ -1,10 +1,32 @@
 """Shared fixtures: small deterministic traces and fleets."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.synth import Scale, make_alicloud_fleet, make_msrc_fleet
 from repro.trace import TraceDataset, VolumeTrace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _ledger_sandbox(tmp_path_factory):
+    """Point the default-on run ledger at a throwaway directory.
+
+    CLI-invoking tests would otherwise append run records to the
+    repository's own ``.repro/runs``.  Tests that exercise the ledger
+    itself pass an explicit ``--ledger-dir`` / ``ledger_dir=``, which
+    always wins over this env var.
+    """
+    from repro.obs import ledger
+
+    previous = os.environ.get(ledger.ENV_VAR)
+    os.environ[ledger.ENV_VAR] = str(tmp_path_factory.mktemp("run-ledger"))
+    yield
+    if previous is None:
+        os.environ.pop(ledger.ENV_VAR, None)
+    else:
+        os.environ[ledger.ENV_VAR] = previous
 
 #: Small time scale for fast tests: 4 "days" of 60 seconds.
 TEST_SCALE = Scale(n_days=4, day_seconds=60.0)

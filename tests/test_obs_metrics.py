@@ -56,6 +56,74 @@ class TestPrimitives:
         assert h.min == -1.0
 
 
+class TestPercentiles:
+    def test_empty_is_nan_and_bad_q_raises(self):
+        h = Histogram()
+        assert h.percentile(50) != h.percentile(50)  # NaN
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_single_observation_is_exact(self):
+        h = Histogram()
+        h.observe(3.0)
+        assert h.percentile(0) == 3.0
+        assert h.percentile(50) == 3.0
+        assert h.percentile(100) == 3.0
+
+    def test_within_a_factor_of_two(self):
+        h = Histogram()
+        values = [0.001 * (i + 1) for i in range(1000)]
+        for v in values:
+            h.observe(v)
+        for q in (50, 90, 99):
+            exact = values[max(0, -(-q * len(values) // 100) - 1)]
+            approx = h.percentile(q)
+            assert exact / 2 <= approx <= exact * 2
+
+    def test_monotone_in_q_and_clamped(self):
+        h = Histogram()
+        for v in (0.5, 1.5, 3.0, 3.5, 100.0):
+            h.observe(v)
+        ps = [h.percentile(q) for q in (0, 25, 50, 75, 90, 99, 100)]
+        assert ps == sorted(ps)
+        assert h.min <= ps[0] and ps[-1] <= h.max
+        assert h.percentile(100) == h.max
+
+    def test_underflow_bucket_reports_exact_min(self):
+        h = Histogram()
+        h.observe(-2.0)
+        h.observe(0.0)
+        h.observe(5.0)
+        assert h.percentile(50) == -2.0  # rank 2 still in the underflow bucket
+
+    def test_merge_invariance(self):
+        """Percentiles of merged state == percentiles of one histogram fed
+        every observation, for any split of the stream across workers."""
+        values = [0.0007 * (i % 37 + 1) + 0.01 * (i % 11) for i in range(500)]
+        whole = MetricsRegistry()
+        for v in values:
+            whole.histogram("h").observe(v)
+        for n_parts in (2, 3, 7):
+            merged = MetricsRegistry()
+            for part in range(n_parts):
+                reg = MetricsRegistry()
+                for v in values[part::n_parts]:
+                    reg.histogram("h").observe(v)
+                merged.merge_snapshot(reg.snapshot())
+            for q in (50, 90, 99):
+                assert merged.histogram("h").percentile(q) == whole.histogram(
+                    "h"
+                ).percentile(q)
+
+    def test_percentiles_summary_keys(self):
+        h = Histogram()
+        h.observe(1.0)
+        assert set(h.percentiles()) == {"p50", "p90", "p99"}
+
+
 class TestRegistry:
     def test_get_or_create_is_stable(self):
         reg = MetricsRegistry()
@@ -128,6 +196,7 @@ class TestRegistry:
         h = report["histograms"]["h"]
         assert h["count"] == 1
         assert h["buckets"] == {"[1,2)": 1}
+        assert h["p50"] == h["p90"] == h["p99"] == 1.5
 
     def test_empty_histogram_report_has_null_stats(self):
         reg = MetricsRegistry()
@@ -135,6 +204,7 @@ class TestRegistry:
         h = reg.report()["histograms"]["h"]
         assert h["count"] == 0
         assert h["mean"] is None and h["min"] is None and h["max"] is None
+        assert h["p50"] is None and h["p99"] is None
 
 
 class TestCollecting:

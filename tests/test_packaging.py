@@ -55,4 +55,5 @@ class TestPublicAPI:
             "stream-analyze",
             "validate",
             "lint",
+            "runs",
         }

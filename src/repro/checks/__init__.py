@@ -1,11 +1,13 @@
 """repro.checks — AST-based invariant linter for the analysis pipeline.
 
 The engine's reproducibility contract (bit-identical results at any
-``--workers`` value) rests on three properties the runtime tests can only
+``--workers`` value) rests on properties the runtime tests can only
 spot-check: **determinism** (no hidden entropy or wall-clock reads in
 pure paths), **mergeability** (ordered, hash-independent merge folds),
-and **picklability** (state that survives the process pool).  This
-package enforces them statically, on every file, at lint time.
+**picklability** (state that survives the process pool), and — since
+the whole-program pass — **cross-module contracts** (declared column
+sets, env-var handoff, gated metric names).  This package enforces them
+statically, at lint time.
 
 Rule pack:
 
@@ -16,43 +18,76 @@ RC003     no unordered (set/frozenset) iteration in merge paths
 RC004     no unpicklables (lambdas, locks, handles) on pool-crossing state
 RC005     no silently swallowed exceptions
 RC006     ``__all__`` present and consistent with public defs
+RC007     ``required_columns`` covers every chunk column consume reaches
+RC008     ``REPRO_*`` env vars read anywhere are written on a handoff path
+RC009     baseline metric names match a name the sources can produce
+RC010     state factories resolved across modules return picklable values
 ========  ==============================================================
+
+RC001–RC006 are per-file; RC007–RC010 run over a whole-program
+:class:`~repro.checks.project.ProjectModel` (imports resolved across
+modules, bounded dataflow over analyzer methods).  Per-file parse and
+summary artifacts are cached content-addressed under
+``.repro/checks-cache/`` so warm runs stay fast.
 
 Usage::
 
-    repro lint [paths ...] [--format json] [--select RC001,RC003]
+    repro lint [paths ...] [--format json|sarif] [--sarif out.sarif]
+               [--select RC001,RC007] [--changed [REF]] [--no-cache]
     python -m repro.checks
 
 Suppress a single line with ``# repro: noqa[RC001]``; configure per-rule
-severity and path scoping under ``[tool.repro.checks]`` in
-``pyproject.toml``.  See the README's "Static analysis" section.
+severity, path scoping, and rule options under ``[tool.repro.checks]``
+in ``pyproject.toml``.  See the README's "Static analysis" section.
 """
 
 from __future__ import annotations
 
+from .cache import SummaryCache
 from .config import CheckConfig, RuleConfig, load_config
-from .driver import collect_files, lint_files, lint_paths, lint_source
+from .driver import (
+    LintRun,
+    LintStats,
+    collect_files,
+    lint_files,
+    lint_paths,
+    lint_project,
+    lint_source,
+)
 from .finding import Finding
-from .registry import Module, Rule, all_rules, get_rule, register, rule_ids
+from .project import ProjectModel, extract_summary, module_name_for
+from .registry import Module, ProjectRule, Rule, all_rules, get_rule, register, rule_ids
 from .report import exit_code, format_json, format_text, report_dict
+from .sarif import format_sarif, sarif_dict, validate_sarif
 
 __all__ = [
     "CheckConfig",
     "Finding",
+    "LintRun",
+    "LintStats",
     "Module",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "RuleConfig",
+    "SummaryCache",
     "all_rules",
     "collect_files",
     "exit_code",
+    "extract_summary",
     "format_json",
+    "format_sarif",
     "format_text",
     "get_rule",
     "lint_files",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "load_config",
+    "module_name_for",
     "register",
     "report_dict",
     "rule_ids",
+    "sarif_dict",
+    "validate_sarif",
 ]

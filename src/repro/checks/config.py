@@ -28,6 +28,7 @@ documentation of the defaults, not a behavioural requirement.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from typing import Any, Dict, List, Optional, Sequence
@@ -49,6 +50,11 @@ __all__ = ["CheckConfig", "RuleConfig", "load_config"]
 DEFAULT_PATHS = ("src/repro",)
 
 
+#: Per-rule table keys the dataclass claims; everything else becomes
+#: free-form rule ``options`` (e.g. RC009's ``baselines``/``producers``).
+_RULE_TABLE_KEYS = frozenset({"enabled", "severity", "include", "exclude"})
+
+
 @dataclass
 class RuleConfig:
     """Per-rule settings layered over the rule's own defaults."""
@@ -57,6 +63,7 @@ class RuleConfig:
     severity: Optional[str] = None
     include: List[str] = field(default_factory=list)
     exclude: List[str] = field(default_factory=list)
+    options: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_table(cls, table: Dict[str, Any], rule_id: str) -> "RuleConfig":
@@ -70,6 +77,7 @@ class RuleConfig:
             severity=severity,
             include=[str(p) for p in table.get("include", [])],
             exclude=[str(p) for p in table.get("exclude", [])],
+            options={k: v for k, v in table.items() if k not in _RULE_TABLE_KEYS},
         )
 
 
@@ -80,6 +88,11 @@ class CheckConfig:
     paths: List[str] = field(default_factory=lambda: list(DEFAULT_PATHS))
     exclude: List[str] = field(default_factory=list)
     rules: Dict[str, RuleConfig] = field(default_factory=dict)
+    #: Directory the config was loaded from (anchors relative rule options
+    #: like RC009's baseline paths, and the default cache location).
+    root: str = "."
+    #: Incremental-cache directory; relative paths resolve against ``root``.
+    cache_dir: Optional[str] = None
 
     def rule_config(self, rule_id: str) -> RuleConfig:
         return self.rules.get(rule_id, RuleConfig())
@@ -129,8 +142,11 @@ def load_config(pyproject_path: Optional[str] = None) -> CheckConfig:
         rule_id: RuleConfig.from_table(rule_table, rule_id)
         for rule_id, rule_table in table.get("rules", {}).items()
     }
+    cache_dir = table.get("cache_dir")
     return CheckConfig(
         paths=[str(p) for p in table.get("paths", list(DEFAULT_PATHS))],
         exclude=[str(p) for p in table.get("exclude", [])],
         rules=rules,
+        root=os.path.dirname(os.path.abspath(pyproject_path)) or ".",
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
     )

@@ -1,10 +1,23 @@
 """The lint driver: collect files, parse once, run every applicable rule.
 
-Each file is parsed exactly once; every enabled rule whose path scoping
-matches then visits the shared AST.  Findings are filtered through
-per-line ``# repro: noqa`` suppressions and returned sorted by
-``(path, line, col, rule)`` — deterministic output for identical input,
-the same property the rules police.
+Two passes share one parse per file:
+
+* **per-file rules** (scope ``"file"``) visit each AST independently;
+* **project rules** (scope ``"project"``, RC007–RC010) run once over a
+  :class:`~repro.checks.project.ProjectModel` built from every file's
+  summary, after all files are in.
+
+Findings from both passes are filtered through per-line ``# repro:
+noqa`` suppressions and returned sorted by ``(path, line, col, rule)``
+— deterministic output for identical input, the same property the
+rules police.
+
+With a :class:`~repro.checks.cache.SummaryCache`, the per-file work
+(parse, per-file findings, summary extraction) is served from disk for
+files whose content hash, rule-pack fingerprint, and per-file config
+key all match; the project pass always re-runs, but over cached
+summaries it is cheap.  :class:`LintStats` reports the hit/miss split
+so CI can assert warm runs actually reuse the cache.
 
 Files that fail to parse produce an ``RC000`` syntax-error finding
 instead of crashing the run: a file the linter cannot read is a file the
@@ -13,16 +26,51 @@ invariants cannot be verified on.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from . import rules as _rules  # noqa: F401  (imports register the rule pack)
+from .cache import SummaryCache
 from .config import CheckConfig
 from .finding import Finding
 from .noqa import collect_suppressions, is_suppressed
-from .registry import Module, Rule, all_rules
+from .project import ProjectModel, extract_summary
+from .registry import Module, ProjectRule, Rule, all_rules
 
-__all__ = ["collect_files", "lint_files", "lint_paths", "lint_source"]
+__all__ = [
+    "LintRun",
+    "LintStats",
+    "collect_files",
+    "lint_files",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+]
+
+
+@dataclass
+class LintStats:
+    """Driver accounting for one lint run (feeds the JSON report)."""
+
+    files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class LintRun:
+    """Findings plus the stats that produced them."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stats: LintStats = field(default_factory=LintStats)
 
 
 def collect_files(paths: Iterable[str], config: CheckConfig) -> List[str]:
@@ -46,7 +94,48 @@ def _select_rules(config: CheckConfig, select: Optional[Sequence[str]]) -> List[
     if select is not None:
         wanted = {s.upper() for s in select}
         chosen = [r for r in chosen if r.id in wanted]
-    return [r.configured(severity=config.effective_severity(r)) for r in chosen]
+    return [
+        r.configured(
+            severity=config.effective_severity(r),
+            options=config.rule_config(r.id).options,
+        )
+        for r in chosen
+    ]
+
+
+def _analyze_source(
+    text: str,
+    path: str,
+    config: CheckConfig,
+    select: Optional[Sequence[str]],
+) -> Tuple[List[Finding], Optional[dict]]:
+    """(per-file findings, project summary) for one source string."""
+    try:
+        module = Module.from_source(text, path=path)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="RC000",
+                    severity="error",
+                    message=f"syntax error: {exc.msg}",
+                    hint="fix the syntax error so invariants can be checked",
+                )
+            ],
+            None,
+        )
+    suppressions = collect_suppressions(text)
+    findings: List[Finding] = []
+    for rule in _select_rules(config, select):
+        if rule.scope != "file" or not config.rule_applies(rule, path):
+            continue
+        findings.extend(
+            f for f in rule.check(module) if not is_suppressed(f, suppressions)
+        )
+    return sorted(findings), extract_summary(module, path)
 
 
 def lint_source(
@@ -55,46 +144,36 @@ def lint_source(
     config: Optional[CheckConfig] = None,
     select: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint one source string (the test seam; also used per file)."""
+    """Lint one source string with the per-file rules (the test seam)."""
     config = config if config is not None else CheckConfig()
-    try:
-        module = Module.from_source(text, path=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule="RC000",
-                severity="error",
-                message=f"syntax error: {exc.msg}",
-                hint="fix the syntax error so invariants can be checked",
-            )
-        ]
-    suppressions = collect_suppressions(text)
-    findings: List[Finding] = []
-    for rule in _select_rules(config, select):
-        if not config.rule_applies(rule, path):
-            continue
-        findings.extend(
-            f for f in rule.check(module) if not is_suppressed(f, suppressions)
-        )
-    return sorted(findings)
+    findings, _summary = _analyze_source(text, path, config, select)
+    return findings
+
+
+def _config_key(
+    config: CheckConfig, select: Optional[Sequence[str]], path: str
+) -> str:
+    """Digest of everything (besides content) that shapes one file's result."""
+    per_file = [
+        (rule.id, config.effective_severity(rule))
+        for rule in all_rules()
+        if rule.scope == "file" and config.rule_applies(rule, path)
+    ]
+    payload = json.dumps(
+        {"rules": per_file, "select": sorted(s.upper() for s in select) if select else None},
+        sort_keys=True,
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def lint_files(
     files: Iterable[str],
     config: Optional[CheckConfig] = None,
     select: Optional[Sequence[str]] = None,
+    cache: Optional[SummaryCache] = None,
 ) -> List[Finding]:
-    """Lint explicit files; returns all findings sorted."""
-    config = config if config is not None else CheckConfig()
-    findings: List[Finding] = []
-    for path in files:
-        with open(path, "r", encoding="utf-8") as fh:
-            text = fh.read()
-        findings.extend(lint_source(text, path=path, config=config, select=select))
-    return sorted(findings)
+    """Lint explicit files (both passes); returns all findings sorted."""
+    return _lint_file_list(list(files), config, select, cache).findings
 
 
 def lint_paths(
@@ -103,6 +182,76 @@ def lint_paths(
     select: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
     """Lint files/directories (defaulting to the config's ``paths``)."""
+    return lint_project(paths, config=config, select=select).findings
+
+
+def lint_project(
+    paths: Optional[Sequence[str]] = None,
+    config: Optional[CheckConfig] = None,
+    select: Optional[Sequence[str]] = None,
+    cache: Optional[SummaryCache] = None,
+    only_paths: Optional[Iterable[str]] = None,
+) -> LintRun:
+    """The full lint: per-file pass, project pass, optional cache + scoping.
+
+    ``only_paths`` (the ``--changed`` mechanism) filters *findings* to
+    the given files after both passes ran over the whole tree — project
+    rules need every summary regardless, and a cross-file contract
+    breach is reported wherever its anchor site is.
+    """
     config = config if config is not None else CheckConfig()
     roots = list(paths) if paths else list(config.paths)
-    return lint_files(collect_files(roots, config), config=config, select=select)
+    return _lint_file_list(
+        collect_files(roots, config), config, select, cache, only_paths
+    )
+
+
+def _lint_file_list(
+    files: List[str],
+    config: Optional[CheckConfig],
+    select: Optional[Sequence[str]],
+    cache: Optional[SummaryCache] = None,
+    only_paths: Optional[Iterable[str]] = None,
+) -> LintRun:
+    config = config if config is not None else CheckConfig()
+    stats = LintStats()
+    findings: List[Finding] = []
+    summaries: List[dict] = []
+    for path in files:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        stats.files += 1
+        file_findings: Optional[List[Finding]] = None
+        summary: Optional[dict] = None
+        if cache is not None:
+            content_hash = hashlib.sha256(blob).hexdigest()
+            key = _config_key(config, select, path)
+            hit = cache.load(path, content_hash, key)
+            if hit is not None:
+                file_findings, summary = hit
+        if file_findings is None:
+            text = blob.decode("utf-8")
+            file_findings, summary = _analyze_source(text, path, config, select)
+            if cache is not None:
+                cache.store(path, content_hash, key, file_findings, summary)
+        findings.extend(file_findings)
+        if summary is not None:
+            summaries.append(summary)
+
+    project = ProjectModel(summaries)
+    for rule in _select_rules(config, select):
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(project, config):
+            if not config.rule_applies(rule, finding.path):
+                continue
+            if is_suppressed(finding, project.suppressions_for(finding.path)):
+                continue
+            findings.append(finding)
+
+    if only_paths is not None:
+        wanted: Set[str] = {os.path.abspath(p) for p in only_paths}
+        findings = [f for f in findings if os.path.abspath(f.path) in wanted]
+    if cache is not None:
+        stats.cache_hits, stats.cache_misses = cache.hits, cache.misses
+    return LintRun(findings=sorted(findings), stats=stats)

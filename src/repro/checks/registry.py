@@ -22,6 +22,7 @@ from .finding import Finding
 __all__ = [
     "ImportMap",
     "Module",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",
@@ -116,22 +117,75 @@ class Rule:
     severity: str = "error"
     #: Default fix guidance attached to findings.
     hint: str = ""
+    #: ``"file"`` rules see one :class:`Module` at a time via :meth:`check`;
+    #: ``"project"`` rules (see :class:`ProjectRule`) see the whole tree.
+    scope: str = "file"
     #: Default fnmatch patterns limiting which files the rule sees
     #: (empty means every linted file).
     default_include: Iterable[str] = ()
     #: Default fnmatch patterns exempting files from the rule.
     default_exclude: Iterable[str] = ()
 
+    def __init__(self) -> None:
+        #: Free-form per-rule settings from ``[tool.repro.checks.rules.*]``
+        #: (keys the config dataclass does not claim for itself).
+        self.options: dict = {}
+
     def check(self, module: Module) -> Iterator[Finding]:
         raise NotImplementedError
 
-    def configured(self, severity: Optional[str] = None) -> "Rule":
-        """A copy of this rule with a config-overridden severity."""
-        if severity is None or severity == self.severity:
+    def configured(
+        self, severity: Optional[str] = None, options: Optional[dict] = None
+    ) -> "Rule":
+        """A copy of this rule with config-overridden severity/options."""
+        if (severity is None or severity == self.severity) and not options:
             return self
         clone = type(self)()
-        clone.severity = severity
+        if severity is not None:
+            clone.severity = severity
+        if options:
+            clone.options = dict(options)
         return clone
+
+
+class ProjectRule(Rule):
+    """A rule that checks the whole linted tree, not one file.
+
+    Subclasses implement :meth:`check_project` against a
+    :class:`repro.checks.project.ProjectModel`; the driver runs them once
+    per lint after every per-file summary is available, filters their
+    findings through the same path scoping and noqa machinery as
+    per-file findings, and sorts everything together.
+    """
+
+    scope = "project"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        return iter(())  # project rules do not run per file
+
+    def check_project(self, project, config) -> Iterator[Finding]:
+        """Findings over the whole project (``project`` is a ProjectModel)."""
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        hint: Optional[str] = None,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        """A finding at an explicit location, carrying this rule's metadata."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=severity if severity is not None else self.severity,
+            message=message,
+            hint=hint if hint is not None else self.hint,
+        )
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

@@ -7,6 +7,7 @@ from typing import FrozenSet, Iterator, Tuple, Union
 
 __all__ = [
     "FunctionNode",
+    "LOCK_CONSTRUCTORS",
     "MERGE_SCOPE_NAMES",
     "STATE_SCOPE_NAMES",
     "attribute_chain",
@@ -16,6 +17,21 @@ __all__ = [
 ]
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Canonical names of synchronization-primitive constructors whose results
+#: cannot cross the process pool (shared by RC004 and the project model).
+LOCK_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
 
 #: Function names that form the engine's deterministic merge paths — the
 #: :class:`repro.engine.analyzer.Analyzer` fold operations plus the

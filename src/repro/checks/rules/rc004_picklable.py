@@ -28,6 +28,7 @@ from typing import Iterator, List, Optional, Set, Union
 from ..finding import Finding
 from ..registry import Module, Rule, register
 from .common import (
+    LOCK_CONSTRUCTORS,
     STATE_SCOPE_NAMES,
     FunctionNode,
     iter_scope_functions,
@@ -37,18 +38,7 @@ from .common import (
 
 __all__ = ["UnpicklableStateRule"]
 
-_LOCK_CONSTRUCTORS = frozenset(
-    {
-        "threading.Lock",
-        "threading.RLock",
-        "threading.Condition",
-        "threading.Event",
-        "threading.Semaphore",
-        "threading.BoundedSemaphore",
-        "multiprocessing.Lock",
-        "multiprocessing.RLock",
-    }
-)
+_LOCK_CONSTRUCTORS = LOCK_CONSTRUCTORS
 
 _EMBEDDED_UNPICKLABLE = (ast.Lambda, ast.GeneratorExp)
 

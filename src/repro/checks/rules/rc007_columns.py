@@ -1,0 +1,238 @@
+"""RC007 — ``required_columns`` must match what ``consume`` actually reads.
+
+The query planner (:mod:`repro.engine.plan`) prunes every column an
+analyzer does not declare; touching an undeclared one raises
+:class:`~repro.engine.chunks.ColumnPrunedError` — but only on the code
+path a test happens to execute.  This rule proves the contract at lint
+time: for every class that declares a static ``required_columns`` tuple
+and defines ``consume``, it computes the set of chunk columns reachable
+from ``consume`` by bounded dataflow over the project model —
+
+* direct attribute reads off the chunk parameter (``chunk.sizes``),
+* methods called on it, resolved through the parameter's annotation to
+  the class's own column reads (``chunk.block_expansion`` reads
+  ``self.offsets`` and ``self.sizes``), transitively through
+  ``self``-calls inside that class,
+* helper functions/methods the chunk is forwarded to, anywhere in the
+  linted project, recursively to a small depth —
+
+and compares it against the declaration.  An undeclared *core* column
+read is an error (that exact read raises at runtime under pruning); an
+undeclared read of an optional column (``response_times`` is served as
+``None`` when pruned) and a declared-but-never-read column are
+warnings.  Findings anchor at the access site inside ``consume`` (or
+the call site that leads to it), so the report names both the column
+and where it is touched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..finding import Finding
+from ..registry import ProjectRule, register
+
+__all__ = ["ColumnContractRule"]
+
+#: The chunk column universe (mirrors ``repro.engine.plan.ALL_COLUMNS``;
+#: kept literal so the linter never imports the engine).  Override with
+#: ``columns`` / ``optional_columns`` rule options.
+DEFAULT_COLUMNS = ("timestamps", "offsets", "sizes", "is_write", "response_times")
+DEFAULT_OPTIONAL = ("response_times",)
+
+_MAX_DEPTH = 4
+
+#: column -> (line, col, via-description)
+_Accesses = Dict[str, Tuple[int, int, str]]
+
+
+@register
+class ColumnContractRule(ProjectRule):
+    id = "RC007"
+    description = "analyzer required_columns must cover every chunk column consume reads"
+    severity = "error"
+    hint = (
+        "add the column to required_columns (or stop reading it); the planner "
+        "prunes undeclared columns and the read raises ColumnPrunedError at runtime"
+    )
+
+    def check_project(self, project, config) -> Iterator[Finding]:
+        universe = tuple(self.options.get("columns", DEFAULT_COLUMNS))
+        optional = set(self.options.get("optional_columns", DEFAULT_OPTIONAL))
+        for summary in project.summaries():
+            for cls_name in sorted(summary["classes"]):
+                cls = summary["classes"][cls_name]
+                declared_info = cls.get("required_columns")
+                if declared_info is None or "consume" not in cls["methods"]:
+                    continue
+                yield from self._check_analyzer(
+                    project, summary, cls_name, declared_info, universe, optional
+                )
+
+    def _check_analyzer(
+        self,
+        project,
+        summary: Dict[str, Any],
+        cls_name: str,
+        declared_info: Dict[str, Any],
+        universe: Sequence[str],
+        optional: Set[str],
+    ) -> Iterator[Finding]:
+        consume = project.method_function(summary, cls_name, "consume")
+        if consume is None:
+            return
+        owner, fn = consume
+        if len(fn["params"]) < 3:
+            return  # not the (self, state, chunk) shape this contract covers
+        chunk_param = fn["params"][2]
+        accesses: _Accesses = {}
+        _param_columns(
+            project, owner, fn, chunk_param, cls_name, set(universe),
+            accesses, anchor=None, via="", depth=_MAX_DEPTH, seen=set(),
+        )
+        declared = list(declared_info["cols"])
+        path = owner["path"]
+        for column in sorted(accesses):
+            if column in declared:
+                continue
+            line, col, via = accesses[column]
+            where = f" ({via})" if via else ""
+            if column in optional:
+                yield self.finding_at(
+                    path, line, col,
+                    f"{cls_name}.consume reads optional column '{column}'{where} "
+                    "without declaring it — the planner serves None there",
+                    severity="warning",
+                    hint=f"declare '{column}' in {cls_name}.required_columns or guard the read",
+                )
+            else:
+                yield self.finding_at(
+                    path, line, col,
+                    f"{cls_name}.consume reads column '{column}'{where} but "
+                    f"required_columns {tuple(declared)!r} does not declare it",
+                )
+        if accesses:  # an empty footprint means abstract/indirect consume: stay quiet
+            decl_line, decl_col = declared_info["site"]
+            for column in declared:
+                if column in universe and column not in accesses:
+                    yield self.finding_at(
+                        path, decl_line, decl_col,
+                        f"{cls_name}.required_columns declares '{column}' but "
+                        "consume never reads it — the data path loads it for nothing",
+                        severity="warning",
+                        hint="drop unused columns from required_columns so the "
+                        "planner can prune them",
+                    )
+
+
+def _param_columns(
+    project,
+    summary: Dict[str, Any],
+    fn: Dict[str, Any],
+    param: str,
+    cls_ctx: Optional[str],
+    universe: Set[str],
+    out: _Accesses,
+    anchor: Optional[Tuple[int, int]],
+    via: str,
+    depth: int,
+    seen: Set[Tuple[str, str, str]],
+) -> None:
+    """Columns reachable from ``param`` inside ``fn``, recorded into ``out``."""
+    key = (summary["module"], fn["qualname"], param)
+    if depth <= 0 or key in seen:
+        return
+    seen.add(key)
+
+    def record(column: str, site: Sequence[int], note: str) -> None:
+        if column not in out:
+            line, col = anchor if anchor is not None else (site[0], site[1])
+            out[column] = (line, col, via or note)
+
+    for attr, site in fn["attr_reads"].get(param, {}).items():
+        if attr in universe:
+            record(attr, site, "")
+
+    annotation = fn["annotations"].get(param)
+    for method, line, col in fn["method_calls"].get(param, []):
+        if annotation is None:
+            continue
+        resolved = project.resolve_in(summary, annotation.split("."))
+        if resolved is None or resolved[0] != "class":
+            continue
+        _, cls_owner, target_cls = resolved
+        for column, note in _class_self_columns(
+            project, cls_owner, target_cls, method, universe, depth - 1, seen
+        ):
+            record(column, (line, col), f"via {target_cls}.{method}(){note}")
+
+    for callee, position, kw, line, col in fn["forwards"].get(param, []):
+        resolved = project.resolve_call(summary, callee, cls_ctx=cls_ctx)
+        if resolved is None or resolved[0] != "function":
+            continue
+        _, callee_owner, qualname = resolved
+        callee_fn = callee_owner["functions"].get(qualname)
+        if callee_fn is None:
+            continue
+        target_param = _map_argument(callee_fn, callee, position, kw)
+        if target_param is None:
+            continue
+        callee_cls = qualname.split(".")[0] if "." in qualname else None
+        _param_columns(
+            project, callee_owner, callee_fn, target_param, callee_cls,
+            universe, out,
+            anchor=anchor if anchor is not None else (line, col),
+            via=via or f"via {callee}()",
+            depth=depth - 1, seen=seen,
+        )
+
+
+def _map_argument(
+    callee_fn: Dict[str, Any], callee: str, position: int, kw: Optional[str]
+) -> Optional[str]:
+    """The callee parameter an argument lands on, accounting for ``self``."""
+    params: List[str] = callee_fn["params"]
+    if kw is not None:
+        if kw in params or kw in callee_fn["kwparams"]:
+            return kw
+        return None
+    offset = 1 if "." in callee_fn["qualname"] and not callee.startswith("self.") else 0
+    if callee.startswith("self."):
+        offset = 1
+    index = position + offset
+    return params[index] if 0 <= index < len(params) else None
+
+
+def _class_self_columns(
+    project,
+    owner: Dict[str, Any],
+    cls_name: str,
+    method: str,
+    universe: Set[str],
+    depth: int,
+    seen: Set[Tuple[str, str, str]],
+) -> List[Tuple[str, str]]:
+    """Columns a method reads off ``self``, following same-class calls."""
+    if depth <= 0:
+        return []
+    found = project.method_function(owner, cls_name, method)
+    if found is None:
+        return []
+    method_owner, fn = found
+    if not fn["params"]:
+        return []
+    self_param = fn["params"][0]
+    key = (method_owner["module"], fn["qualname"], f"self:{self_param}")
+    if key in seen:
+        return []
+    seen.add(key)
+    out: List[Tuple[str, str]] = []
+    for attr in fn["attr_reads"].get(self_param, {}):
+        if attr in universe:
+            out.append((attr, ""))
+    for inner, _line, _col in fn["method_calls"].get(self_param, []):
+        for column, note in _class_self_columns(
+            project, method_owner, cls_name, inner, universe, depth - 1, seen
+        ):
+            out.append((column, f" -> {cls_name}.{inner}(){note}"))
+    return out

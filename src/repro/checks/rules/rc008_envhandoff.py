@@ -1,0 +1,69 @@
+"""RC008 — every ``REPRO_*`` env knob read must also be written somewhere.
+
+The engine fans out with the ``spawn`` start method: workers inherit
+nothing but the environment.  The established handoff pattern
+(``REPRO_TRACE`` / ``REPRO_TIMELINE`` / ``REPRO_FAULTS``) is that the
+module reading the variable at import or call time has a matching
+``os.environ[VAR] = ...`` write on its enable/activate path, so a
+parent-process ``enable()`` reaches spawned workers.  A new knob that
+only *reads* its variable silently goes dead in workers — env-var
+handoff incompleteness.
+
+This rule collects, project-wide, every ``os.environ`` read and write
+whose variable name matches the configured prefix (default ``REPRO_``),
+resolving both string literals and constant references across modules
+(``os.environ[faults.ENV_VAR] = ...`` counts as a write of
+``REPRO_FAULTS``).  Any prefixed variable that is read somewhere but
+written nowhere in the linted project is reported at each read site.
+Variables that are genuinely parent-process-only (the run ledger's
+``REPRO_LEDGER_DIR``) should carry a ``# repro: noqa[RC008]`` with a
+reason.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..finding import Finding
+from ..registry import ProjectRule, register
+
+__all__ = ["EnvHandoffRule"]
+
+DEFAULT_PREFIX = "REPRO_"
+
+
+@register
+class EnvHandoffRule(ProjectRule):
+    id = "RC008"
+    description = "REPRO_* env vars read anywhere must be written on some handoff path"
+    severity = "error"
+    hint = (
+        "mirror the knob into os.environ on its enable/activate path (the "
+        "REPRO_TRACE pattern) so spawn workers inherit it, or mark the read "
+        "'# repro: noqa[RC008]' with a reason if it is parent-process-only"
+    )
+
+    def check_project(self, project, config) -> Iterator[Finding]:
+        prefix = str(self.options.get("prefix", DEFAULT_PREFIX))
+        reads: Dict[str, List[Tuple[str, int, int]]] = {}
+        written: Set[str] = set()
+        for summary in project.summaries():
+            for entry in summary.get("env_reads", []):
+                var = project.env_var_name(entry)
+                if var is not None and var.startswith(prefix):
+                    reads.setdefault(var, []).append(
+                        (summary["path"], int(entry[2]), int(entry[3]))
+                    )
+            for entry in summary.get("env_writes", []):
+                var = project.env_var_name(entry)
+                if var is not None:
+                    written.add(var)
+        for var in sorted(reads):
+            if var in written:
+                continue
+            for path, line, col in reads[var]:
+                yield self.finding_at(
+                    path, line, col,
+                    f"env var '{var}' is read here but never written anywhere in "
+                    "the linted project — spawn workers can never see it",
+                )

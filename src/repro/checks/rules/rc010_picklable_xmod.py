@@ -1,0 +1,150 @@
+"""RC010 — cross-module picklability: resolve state factories project-wide.
+
+RC004 flags unpicklables assigned *directly* onto pool-crossing state
+(``self.f = lambda ...``), but goes blind the moment the value comes
+from a factory: ``self.gaps = _new_reservoir(...)`` is fine only if
+``_new_reservoir`` — possibly in another module — returns plain data.
+This rule follows exactly that edge through the
+:class:`~repro.checks.project.ProjectModel`:
+
+for every attribute assignment of a call result inside a state scope
+(functions named ``init_state``/``consume``/``merge``, or any method of
+a ``*State`` class), resolve the callee across the project and flag it
+when
+
+* the callee is a function whose return descriptors include a lambda,
+  generator expression, lock constructor, or ``open(...)`` — following
+  ``return other_factory(...)`` chains to a small depth; or
+* the callee is a project class whose ``__init__`` stores an
+  unpicklable on ``self`` (again following its own factory calls).
+
+Callees that do not resolve inside the linted project (numpy, stdlib)
+are presumed picklable — the rule extends RC004's reach, it does not
+guess about third-party internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Set, Tuple
+
+from ..finding import Finding
+from ..registry import ProjectRule, register
+from .common import STATE_SCOPE_NAMES
+
+__all__ = ["CrossModulePicklabilityRule"]
+
+_MAX_DEPTH = 3
+
+
+def _is_state_scope(qualname: str) -> bool:
+    if "." in qualname:
+        cls_name, method = qualname.split(".", 1)
+        return method in STATE_SCOPE_NAMES or cls_name.endswith("State")
+    return qualname in STATE_SCOPE_NAMES
+
+
+@register
+class CrossModulePicklabilityRule(ProjectRule):
+    id = "RC010"
+    description = "state factories resolved across modules must return picklable values"
+    severity = "error"
+    hint = (
+        "make the factory return plain data (numbers, dicts, arrays, "
+        "dataclasses); lambdas, generators, locks and file handles die in "
+        "pickle at pool fan-out"
+    )
+
+    def check_project(self, project, config) -> Iterator[Finding]:
+        for summary in project.summaries():
+            for qualname in sorted(summary["functions"]):
+                if not _is_state_scope(qualname):
+                    continue
+                fn = summary["functions"][qualname]
+                cls_ctx = qualname.split(".")[0] if "." in qualname else None
+                for attr, callee, line, col in fn["attr_call_assigns"]:
+                    reason = _callee_unpicklable(
+                        project, summary, callee, cls_ctx, _MAX_DEPTH, set()
+                    )
+                    if reason is None:
+                        continue
+                    yield self.finding_at(
+                        summary["path"], line, col,
+                        f"{qualname} stores '{attr}' from {callee}(), which {reason}",
+                    )
+
+
+def _callee_unpicklable(
+    project,
+    summary: Dict[str, Any],
+    callee: str,
+    cls_ctx: Optional[str],
+    depth: int,
+    seen: Set[Tuple[str, str]],
+) -> Optional[str]:
+    """Why calling ``callee`` yields an unpicklable value, or None."""
+    if depth <= 0:
+        return None
+    resolved = project.resolve_call(summary, callee, cls_ctx=cls_ctx)
+    if resolved is None:
+        return None
+    kind, owner, qualname = resolved
+    key = (owner["module"], qualname)
+    if key in seen:
+        return None
+    seen.add(key)
+    if kind == "function":
+        fn = owner["functions"].get(qualname)
+        if fn is None:
+            return None
+        return _returns_unpicklable(project, owner, fn, depth, seen)
+    if kind == "class":
+        return _class_unpicklable(project, owner, qualname, depth, seen)
+    return None
+
+
+def _returns_unpicklable(
+    project,
+    owner: Dict[str, Any],
+    fn: Dict[str, Any],
+    depth: int,
+    seen: Set[Tuple[str, str]],
+) -> Optional[str]:
+    for descriptor in fn["returns"]:
+        kind, detail = descriptor[0], descriptor[1]
+        if kind == "lambda":
+            return "returns a lambda (unpicklable)"
+        if kind == "genexp":
+            return "returns a live generator (unpicklable)"
+        if kind == "lock":
+            return f"returns a {detail}() (unpicklable synchronization primitive)"
+        if kind == "open":
+            return "returns an open file handle (unpicklable)"
+        if kind == "call" and detail:
+            cls_ctx = fn["qualname"].split(".")[0] if "." in fn["qualname"] else None
+            inner = _callee_unpicklable(project, owner, detail, cls_ctx, depth - 1, seen)
+            if inner is not None:
+                return f"returns {detail}(), which {inner}"
+    return None
+
+
+def _class_unpicklable(
+    project,
+    owner: Dict[str, Any],
+    cls_name: str,
+    depth: int,
+    seen: Set[Tuple[str, str]],
+) -> Optional[str]:
+    found = project.method_function(owner, cls_name, "__init__")
+    if found is None:
+        return None
+    init_owner, init_fn = found
+    for attr, reason, _line, _col in init_fn["unpicklable_assigns"]:
+        return f"constructs {cls_name} whose __init__ stores '{attr}' as {reason}"
+    for attr, callee, _line, _col in init_fn["attr_call_assigns"]:
+        inner = _callee_unpicklable(project, init_owner, callee, cls_name, depth - 1, seen)
+        if inner is not None:
+            return (
+                f"constructs {cls_name} whose __init__ stores '{attr}' from "
+                f"{callee}(), which {inner}"
+            )
+    return None

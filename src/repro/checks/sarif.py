@@ -1,0 +1,168 @@
+"""SARIF 2.1.0 output: lint findings as a standard exchange document.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what CI
+annotation tooling and code-scanning UIs ingest; emitting it makes the
+RC rule pack composable with that ecosystem the same way the run-record
+schema makes benchmarks composable with ``repro runs``.
+
+The document shape (one run, one driver)::
+
+    {
+      "$schema": ".../sarif-schema-2.1.0.json",
+      "version": "2.1.0",
+      "runs": [{
+        "tool": {"driver": {"name": "repro-lint", "rules": [...]}},
+        "results": [{"ruleId", "ruleIndex", "level", "message",
+                     "locations": [{"physicalLocation": ...}]}]
+      }]
+    }
+
+Findings map 1:1 onto ``results``; every registered rule appears in the
+driver's ``rules`` array (with its description as ``shortDescription``
+and its fix hint as ``help``) so viewers can show rule metadata even
+for rules with no findings.  SARIF columns are 1-based where findings
+are 0-based, hence the ``col + 1``.
+
+:func:`validate_sarif` structurally checks a document against the
+subset of the 2.1.0 schema this module emits — required properties,
+types, level enum, 1-based regions — without a network fetch or a JSON
+Schema engine, so tests and CI can assert validity hermetically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .finding import Finding
+from .registry import Rule, all_rules
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "format_sarif", "sarif_dict", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF result levels; findings' severities map onto these directly.
+_LEVELS = ("none", "note", "warning", "error")
+
+
+def sarif_dict(
+    findings: Sequence[Finding], rules: Optional[Sequence[Rule]] = None
+) -> Dict[str, Any]:
+    """The findings as a SARIF 2.1.0 document (JSON-ready dict)."""
+    pack = list(rules) if rules is not None else all_rules()
+    rule_index = {rule.id: i for i, rule in enumerate(pack)}
+    descriptors: List[Dict[str, Any]] = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.description},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {
+                "level": rule.severity if rule.severity in _LEVELS else "error"
+            },
+        }
+        for rule in pack
+    ]
+    results: List[Dict[str, Any]] = []
+    for finding in sorted(findings):
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": finding.severity if finding.severity in _LEVELS else "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(
+    findings: Sequence[Finding], rules: Optional[Sequence[Rule]] = None
+) -> str:
+    return json.dumps(sarif_dict(findings, rules=rules), indent=2, sort_keys=True)
+
+
+def validate_sarif(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed SARIF 2.1.0 log.
+
+    Covers the properties this emitter produces (the subset CI relies
+    on): top-level ``version``/``runs``, tool driver naming, rule
+    descriptors, and per-result message/level/location shape.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("SARIF log must be a JSON object")
+    if doc.get("version") != SARIF_VERSION:
+        raise ValueError(f"SARIF version must be {SARIF_VERSION!r}, got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("SARIF log must carry a non-empty 'runs' array")
+    for run in runs:
+        if not isinstance(run, dict):
+            raise ValueError("each SARIF run must be an object")
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict) or not isinstance(driver.get("name"), str):
+            raise ValueError("each SARIF run needs tool.driver.name")
+        for descriptor in driver.get("rules", []):
+            if not isinstance(descriptor, dict) or not isinstance(descriptor.get("id"), str):
+                raise ValueError("each SARIF rule descriptor needs a string 'id'")
+        results = run.get("results", [])
+        if not isinstance(results, list):
+            raise ValueError("SARIF run 'results' must be an array")
+        for result in results:
+            _validate_result(result, driver.get("rules", []))
+
+
+def _validate_result(result: Any, descriptors: List[Any]) -> None:
+    if not isinstance(result, dict):
+        raise ValueError("each SARIF result must be an object")
+    message = result.get("message")
+    if not isinstance(message, dict) or not isinstance(message.get("text"), str):
+        raise ValueError("each SARIF result needs message.text")
+    if result.get("level") not in _LEVELS:
+        raise ValueError(f"SARIF result level must be one of {_LEVELS}")
+    if "ruleIndex" in result:
+        index = result["ruleIndex"]
+        if not isinstance(index, int) or not 0 <= index < len(descriptors):
+            raise ValueError("SARIF ruleIndex out of range of the driver's rules")
+        if descriptors[index].get("id") != result.get("ruleId"):
+            raise ValueError("SARIF ruleIndex does not match ruleId")
+    for location in result.get("locations", []):
+        physical = location.get("physicalLocation") if isinstance(location, dict) else None
+        if not isinstance(physical, dict):
+            raise ValueError("each SARIF location needs a physicalLocation")
+        artifact = physical.get("artifactLocation")
+        if not isinstance(artifact, dict) or not isinstance(artifact.get("uri"), str):
+            raise ValueError("each SARIF physicalLocation needs artifactLocation.uri")
+        region = physical.get("region", {})
+        for key in ("startLine", "startColumn"):
+            if key in region and (not isinstance(region[key], int) or region[key] < 1):
+                raise ValueError(f"SARIF region {key} must be a positive integer")

@@ -73,7 +73,9 @@ def resolve_ledger_dir(explicit: Optional[str] = None) -> str:
     """The ledger directory: explicit flag > ``REPRO_LEDGER_DIR`` > default."""
     if explicit:
         return explicit
-    return os.environ.get(ENV_VAR) or DEFAULT_LEDGER_DIR
+    # Records are appended by the parent process only — workers never write
+    # the ledger — so this knob needs no spawn-worker env handoff.
+    return os.environ.get(ENV_VAR) or DEFAULT_LEDGER_DIR  # repro: noqa[RC008]
 
 
 def config_digest(config: Dict[str, Any]) -> str:

@@ -1,0 +1,145 @@
+"""Incremental-cache tests: hit/miss accounting and every invalidation key."""
+
+import textwrap
+
+from repro.checks import CheckConfig, RuleConfig, SummaryCache, lint_project
+from repro.checks import cache as cache_mod
+
+CLEAN = '__all__ = []\nx = 1\n'
+DIRTY = textwrap.dedent(
+    """\
+    import numpy as np
+    __all__ = []
+    rng = np.random.default_rng()
+    """
+)
+
+
+def make_tree(tmp_path, n_clean=3):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    for i in range(n_clean):
+        (pkg / f"mod{i}.py").write_text(CLEAN)
+    (pkg / "dirty.py").write_text(DIRTY)
+    return pkg
+
+
+class TestWarmRuns:
+    def test_cold_then_warm_hit_counting(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        warm = lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        assert cold.stats.files == 4
+        assert (cold.stats.cache_hits, cold.stats.cache_misses) == (0, 4)
+        assert (warm.stats.cache_hits, warm.stats.cache_misses) == (4, 0)
+        assert warm.stats.hit_rate == 1.0 >= 0.9
+        assert warm.findings == cold.findings
+
+    def test_cached_findings_round_trip_exactly(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        warm = lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+
+class TestInvalidation:
+    def test_editing_one_file_misses_only_that_file(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        (pkg / "mod0.py").write_text(CLEAN + "y = 2\n")
+        run = lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        assert (run.stats.cache_hits, run.stats.cache_misses) == (3, 1)
+
+    def test_config_change_invalidates(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        softened = CheckConfig(rules={"RC001": RuleConfig(severity="warning")})
+        run = lint_project([str(pkg)], config=softened, cache=SummaryCache(cache_dir))
+        assert run.stats.cache_hits == 0
+        assert all(f.severity == "warning" for f in run.findings if f.rule == "RC001")
+
+    def test_select_change_invalidates(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        run = lint_project([str(pkg)], select=["RC006"], cache=SummaryCache(cache_dir))
+        assert run.stats.cache_hits == 0
+
+    def test_rules_fingerprint_change_invalidates(self, tmp_path, monkeypatch):
+        pkg = make_tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        # a new rule-pack fingerprint (an edited rule file) orphans every entry
+        monkeypatch.setattr(cache_mod, "_fingerprint", "different-rules-version")
+        run = lint_project([str(pkg)], cache=SummaryCache(cache_dir))
+        assert run.stats.cache_hits == 0
+        assert run.stats.cache_misses == 4
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        lint_project([str(pkg)], cache=SummaryCache(str(cache_dir)))
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{torn write")
+        run = lint_project([str(pkg)], cache=SummaryCache(str(cache_dir)))
+        assert run.stats.cache_hits == 0
+        # and the entries were rewritten, so the next run is warm again
+        rewarm = lint_project([str(pkg)], cache=SummaryCache(str(cache_dir)))
+        assert rewarm.stats.cache_hits == 4
+
+
+class TestProjectPassUnderCaching:
+    def test_editing_a_helper_reflows_into_cached_analyzers(self, tmp_path):
+        """The project pass always re-runs over (possibly cached) summaries:
+        widening a helper's column footprint must surface a new RC007
+        finding even though the analyzer's own file is served from cache."""
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        helper = pkg / "helper.py"
+        helper.write_text("def tally(chunk):\n    return chunk.sizes\n")
+        (pkg / "analyzer.py").write_text(
+            textwrap.dedent(
+                """\
+                from .helper import tally
+
+                class A:
+                    required_columns = ("sizes",)
+
+                    def consume(self, state, chunk):
+                        return tally(chunk)
+                """
+            )
+        )
+        cache_dir = str(tmp_path / "cache")
+        first = lint_project([str(pkg)], select=["RC007"], cache=SummaryCache(cache_dir))
+        assert first.findings == []
+        helper.write_text(
+            "def tally(chunk):\n    return chunk.sizes + chunk.offsets\n"
+        )
+        second = lint_project([str(pkg)], select=["RC007"], cache=SummaryCache(cache_dir))
+        # analyzer.py and __init__.py hit; only helper.py re-analyzed
+        assert (second.stats.cache_hits, second.stats.cache_misses) == (2, 1)
+        (finding,) = second.findings
+        assert "'offsets'" in finding.message
+        assert finding.path.endswith("analyzer.py")
+
+    def test_noqa_survives_the_cache(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "orphan.py").write_text(
+            "import os\n\n\ndef load():\n"
+            '    return os.environ.get("REPRO_ORPHAN")  # repro: noqa[RC008]\n'
+        )
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_project([str(pkg)], select=["RC008"], cache=SummaryCache(cache_dir))
+        warm = lint_project([str(pkg)], select=["RC008"], cache=SummaryCache(cache_dir))
+        assert cold.findings == [] == warm.findings
+        assert warm.stats.cache_hits == 2

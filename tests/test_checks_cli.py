@@ -1,13 +1,16 @@
 """CLI integration tests for ``repro lint`` and ``python -m repro.checks``."""
 
 import json
+import os
 import subprocess
 import sys
 import textwrap
 
 import pytest
 
+import repro
 from repro.checks.cli import main as lint_main
+from repro.checks.sarif import validate_sarif
 
 CLEAN = '__all__ = []\nx = 1\n'
 DIRTY = textwrap.dedent(
@@ -17,6 +20,13 @@ DIRTY = textwrap.dedent(
     rng = np.random.default_rng()
     """
 )
+
+
+def _subprocess_env():
+    """Environment for ``-m repro.checks`` subprocesses run from any cwd."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    return env
 
 
 @pytest.fixture
@@ -30,20 +40,20 @@ def tree(tmp_path):
 
 class TestLintMain:
     def test_clean_tree_exits_zero(self, tree, capsys):
-        assert lint_main(["--no-config", str(tree / "clean.py")]) == 0
+        assert lint_main(["--no-config", "--no-cache", str(tree / "clean.py")]) == 0
         out = capsys.readouterr().out
         assert "no findings" in out
 
     def test_findings_exit_nonzero(self, tree, capsys):
-        assert lint_main(["--no-config", str(tree)]) == 1
+        assert lint_main(["--no-config", "--no-cache", str(tree)]) == 1
         out = capsys.readouterr().out
         assert "RC001" in out
         assert "dirty.py" in out
 
     def test_json_format_matches_schema(self, tree, capsys):
-        lint_main(["--no-config", "--format", "json", str(tree)])
+        lint_main(["--no-config", "--no-cache", "--format", "json", str(tree)])
         doc = json.loads(capsys.readouterr().out)
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["counts"]["total"] == 1
         assert doc["counts"]["error"] == 1
         assert doc["counts"]["by_rule"] == {"RC001": 1}
@@ -54,24 +64,66 @@ class TestLintMain:
         assert finding["severity"] == "error"
         assert finding["message"]
         assert finding["hint"]
+        # cache accounting is always reported; with --no-cache it is all zeros
+        assert doc["cache"] == {"files": 2, "hits": 0, "misses": 0, "hit_rate": 0.0}
 
     def test_output_writes_artifact(self, tree, tmp_path, capsys):
         artifact = tmp_path / "lint.json"
         lint_main(
-            ["--no-config", "--format", "json", "--output", str(artifact), str(tree)]
+            ["--no-config", "--no-cache", "--format", "json",
+             "--output", str(artifact), str(tree)]
         )
         on_disk = json.loads(artifact.read_text())
         printed = json.loads(capsys.readouterr().out)
         assert on_disk == printed
 
+    def test_sarif_flag_writes_valid_log(self, tree, tmp_path, capsys):
+        sarif_path = tmp_path / "lint.sarif"
+        code = lint_main(
+            ["--no-config", "--no-cache", "--sarif", str(sarif_path), str(tree)]
+        )
+        assert code == 1
+        # stdout stays in the chosen format (text) ...
+        assert "RC001" in capsys.readouterr().out
+        # ... while the SARIF artifact is written alongside, and validates.
+        doc = json.loads(sarif_path.read_text())
+        validate_sarif(doc)
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["RC001"]
+
+    def test_sarif_format_prints_valid_log(self, tree, capsys):
+        code = lint_main(
+            ["--no-config", "--no-cache", "--format", "sarif", str(tree)]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        validate_sarif(doc)
+
+    def test_cache_dir_warm_run_hits(self, tree, tmp_path, capsys):
+        cache_dir = tmp_path / "lint-cache"
+        args = ["--no-config", "--cache-dir", str(cache_dir),
+                "--format", "json", str(tree)]
+        lint_main(args)
+        cold = json.loads(capsys.readouterr().out)
+        lint_main(args)
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["cache"] == {"files": 2, "hits": 0, "misses": 2, "hit_rate": 0.0}
+        assert warm["cache"] == {"files": 2, "hits": 2, "misses": 0, "hit_rate": 1.0}
+        assert warm["findings"] == cold["findings"]
+
     def test_select_restricts_rules(self, tree, capsys):
-        assert lint_main(["--no-config", "--select", "RC006", str(tree)]) == 0
+        assert lint_main(
+            ["--no-config", "--no-cache", "--select", "RC006", str(tree)]
+        ) == 0
         assert "no findings" in capsys.readouterr().out
 
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006"):
+        for rule_id in (
+            "RC001", "RC002", "RC003", "RC004", "RC005",
+            "RC006", "RC007", "RC008", "RC009", "RC010",
+        ):
             assert rule_id in out
 
     def test_explicit_config_scopes_rules(self, tree, tmp_path, capsys):
@@ -80,24 +132,73 @@ class TestLintMain:
             "[tool.repro.checks.rules.RC001]\nenabled = false\n"
         )
         try:
-            code = lint_main(["--config", str(pyproject), str(tree)])
+            code = lint_main(
+                ["--config", str(pyproject), "--no-cache", str(tree)]
+            )
         except RuntimeError:
             pytest.skip("no TOML reader on this interpreter")
         capsys.readouterr()
         assert code == 0
 
 
+class TestChangedScoping:
+    def _git(self, cwd, *args):
+        return subprocess.run(
+            ["git", "-c", "user.email=t@example.com", "-c", "user.name=t", *args],
+            cwd=cwd, capture_output=True, text=True,
+        )
+
+    @pytest.fixture
+    def repo(self, tmp_path):
+        if self._git(tmp_path, "init").returncode != 0:
+            pytest.skip("git unavailable")
+        (tmp_path / "committed_bad.py").write_text(DIRTY)
+        (tmp_path / "clean.py").write_text(CLEAN)
+        self._git(tmp_path, "add", "-A")
+        if self._git(tmp_path, "commit", "-m", "seed").returncode != 0:
+            pytest.skip("git commit unavailable")
+        return tmp_path
+
+    def _lint(self, repo, *extra):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.checks", "--no-config", "--no-cache",
+             "--format", "json", *extra, str(repo)],
+            cwd=repo, capture_output=True, text=True, env=_subprocess_env(),
+        )
+
+    def test_changed_reports_only_touched_files(self, repo):
+        (repo / "untracked_bad.py").write_text(DIRTY)
+        proc = self._lint(repo, "--changed", "HEAD")
+        assert proc.returncode == 1, proc.stderr
+        doc = json.loads(proc.stdout)
+        paths = {f["path"] for f in doc["findings"]}
+        assert paths and all(p.endswith("untracked_bad.py") for p in paths), paths
+        # the committed violation still exists — an unscoped run reports it
+        full = json.loads(self._lint(repo).stdout)
+        assert any(f["path"].endswith("committed_bad.py") for f in full["findings"])
+
+    def test_changed_clean_when_nothing_touched(self, repo):
+        proc = self._lint(repo, "--changed", "HEAD")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert json.loads(proc.stdout)["findings"] == []
+
+    def test_changed_against_bad_ref_is_usage_error(self, repo):
+        proc = self._lint(repo, "--changed", "no-such-ref")
+        assert proc.returncode == 2
+        assert "--changed" in proc.stdout
+
+
 class TestReproCliIntegration:
     def test_repro_lint_subcommand(self, tree, capsys):
         from repro.cli import main as repro_main
 
-        code = repro_main(["lint", "--no-config", str(tree)])
+        code = repro_main(["lint", "--no-config", "--no-cache", str(tree)])
         assert code == 1
         assert "RC001" in capsys.readouterr().out
 
     def test_module_entry_point(self, tree):
         proc = subprocess.run(
-            [sys.executable, "-m", "repro.checks", "--no-config",
+            [sys.executable, "-m", "repro.checks", "--no-config", "--no-cache",
              "--format", "json", str(tree)],
             capture_output=True, text=True,
         )

@@ -124,7 +124,19 @@ class TestDriver:
         assert first == sorted(first)
 
     def test_rule_ids_cover_the_documented_pack(self):
-        assert rule_ids() == ["RC001", "RC002", "RC003", "RC004", "RC005", "RC006"]
+        assert rule_ids() == [
+            "RC001", "RC002", "RC003", "RC004", "RC005",
+            "RC006", "RC007", "RC008", "RC009", "RC010",
+        ]
+
+    def test_rule_scopes_partition_the_pack(self):
+        from repro.checks import all_rules
+
+        scopes = {rule.id: rule.scope for rule in all_rules()}
+        assert {r for r, s in scopes.items() if s == "project"} == {
+            "RC007", "RC008", "RC009", "RC010"
+        }
+        assert all(s == "file" for r, s in scopes.items() if r <= "RC006")
 
 
 class TestSelfLint:

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 emitter tests: document shape, mappings, and the validator."""
+
+import json
+
+import pytest
+
+from repro.checks import Finding, format_sarif, rule_ids, sarif_dict, validate_sarif
+from repro.checks.sarif import SARIF_VERSION
+
+
+def finding(**overrides):
+    base = dict(
+        path="src/repro/engine/mod.py",
+        line=12,
+        col=4,
+        rule="RC001",
+        severity="error",
+        message="unseeded randomness",
+        hint="pass a seeded Generator",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestEmitter:
+    def test_document_validates_and_carries_the_rule_pack(self):
+        doc = sarif_dict([finding()])
+        validate_sarif(doc)
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        descriptors = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert [d["id"] for d in descriptors] == rule_ids()
+        assert all(d["shortDescription"]["text"] for d in descriptors)
+
+    def test_result_mapping(self):
+        doc = sarif_dict([finding(severity="warning")])
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "RC001"
+        assert result["level"] == "warning"
+        assert result["message"]["text"] == "unseeded randomness"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 12
+        assert region["startColumn"] == 5  # findings are 0-based, SARIF 1-based
+        index = result["ruleIndex"]
+        assert doc["runs"][0]["tool"]["driver"]["rules"][index]["id"] == "RC001"
+
+    def test_results_are_sorted_and_empty_run_is_valid(self):
+        doc = sarif_dict(
+            [finding(line=20), finding(line=3, rule="RC005", message="swallowed")]
+        )
+        lines = [
+            r["locations"][0]["physicalLocation"]["region"]["startLine"]
+            for r in doc["runs"][0]["results"]
+        ]
+        assert lines == [3, 20]
+        validate_sarif(sarif_dict([]))
+
+    def test_format_round_trips_through_json(self):
+        text = format_sarif([finding()])
+        validate_sarif(json.loads(text))
+
+
+class TestValidator:
+    def test_rejects_wrong_version(self):
+        doc = sarif_dict([finding()])
+        doc["version"] = "2.0.0"
+        with pytest.raises(ValueError, match="version"):
+            validate_sarif(doc)
+
+    def test_rejects_missing_runs(self):
+        with pytest.raises(ValueError, match="runs"):
+            validate_sarif({"version": SARIF_VERSION, "runs": []})
+
+    def test_rejects_bad_level(self):
+        doc = sarif_dict([finding()])
+        doc["runs"][0]["results"][0]["level"] = "fatal"
+        with pytest.raises(ValueError, match="level"):
+            validate_sarif(doc)
+
+    def test_rejects_rule_index_mismatch(self):
+        doc = sarif_dict([finding()])
+        doc["runs"][0]["results"][0]["ruleIndex"] = 3
+        with pytest.raises(ValueError, match="ruleIndex"):
+            validate_sarif(doc)
+
+    def test_rejects_zero_based_region(self):
+        doc = sarif_dict([finding()])
+        region = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"]["region"]
+        region["startColumn"] = 0
+        with pytest.raises(ValueError, match="startColumn"):
+            validate_sarif(doc)
+
+    def test_rejects_missing_message(self):
+        doc = sarif_dict([finding()])
+        del doc["runs"][0]["results"][0]["message"]
+        with pytest.raises(ValueError, match="message"):
+            validate_sarif(doc)

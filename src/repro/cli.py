@@ -39,6 +39,20 @@ sink for sampled malformed lines), ``--errors-out`` (the run's full JSON
 fault ledger), and ``--faults PLAN.json`` to activate a deterministic
 :mod:`repro.faults` injection plan for chaos drills.
 
+Durable runs (see :mod:`repro.resilience.checkpoint` and
+:mod:`repro.store.scrub`): ``stream-analyze --checkpoint`` persists each
+completed file's merged analyzer state under
+``.repro/checkpoints/<config-digest>/`` as it finishes; ``--resume``
+folds the completed units from disk and executes only the rest —
+bit-identical to an uninterrupted run at any worker count — and is
+refused (exit 2) when the result-affecting config changed.
+SIGINT/SIGTERM on a checkpointed run still flush the run-ledger record
+and exit ``128 + signum``.  On the store side, ``repro store verify``
+scrubs a trace store (``--deep`` re-hashes every segment) and
+``--verify-store`` makes serving quarantine corrupt entries and rebuild
+them from the source text (self-heal), recorded in the run's fault
+ledger.
+
 Query planning (see :mod:`repro.engine.plan`): ``analyze``, ``report``,
 ``stream-analyze``, and ``findings`` accept ``--since`` / ``--until``
 (half-open time window, seconds) and a volume-id filter (``--volumes``
@@ -83,11 +97,16 @@ from .obs import (
 from .resilience import (
     ON_ERROR_CHOICES,
     ON_ERROR_STRICT,
+    CheckpointConfig,
+    CheckpointError,
     RetryPolicy,
     RunErrors,
+    RunInterrupted,
+    graceful_interrupts,
     write_quarantine_jsonl,
 )
-from .store import StoreConfig
+from .resilience.checkpoint import DEFAULT_CHECKPOINT_DIR
+from .store import DEFAULT_STORE_DIRNAME, StoreConfig
 from .synth import alicloud_scale, make_alicloud_fleet, make_msrc_fleet, msrc_scale
 from .trace import write_dataset_dir
 
@@ -112,6 +131,12 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
         "--store-dir", default=None, metavar="DIR",
         help="store location (implies --store; default: .repro-store "
         "next to the trace files)",
+    )
+    parser.add_argument(
+        "--verify-store", action="store_true", dest="verify_store",
+        help="deep-verify (sha256 per segment) every store entry before "
+        "serving it; a corrupt entry is quarantined, recorded in the fault "
+        "ledger, and rebuilt from the source text (implies --store)",
     )
 
 
@@ -290,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="log per-file completion on stderr as workers finish",
     )
+    ing.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="activate a deterministic fault-injection plan (JSON file, "
+        "see repro.faults) for chaos drills such as crash-mid-ingest",
+    )
 
     ana = sub.add_parser("analyze", help="per-volume profiles of a trace directory")
     ana.add_argument("trace_dir", help="directory of .csv/.csv.gz trace files")
@@ -347,6 +377,21 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--output", default="-", help="output JSON path ('-' for stdout)")
     _add_engine_flags(stream)
     _add_filter_flags(stream)
+    stream.add_argument(
+        "--checkpoint", action="store_true",
+        help="persist each completed file's merged analyzer state under "
+        ".repro/checkpoints/<config-digest>/ so a killed run can --resume",
+    )
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted checkpointed run: completed files are "
+        "folded from disk, only the missing ones execute (implies "
+        "--checkpoint; refused when the config digest differs)",
+    )
+    stream.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help=f"checkpoint root (default: {DEFAULT_CHECKPOINT_DIR})",
+    )
 
     val = sub.add_parser(
         "validate",
@@ -372,6 +417,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="log per-unit completion on stderr as workers finish",
     )
     _add_store_flags(val)
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="trace-store maintenance: scrub entries for corruption",
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    sv = store_sub.add_parser(
+        "verify",
+        help="scrub every store entry: segment presence and sizes always, "
+        "full sha256 re-hash with --deep; exit 1 when anything is corrupt",
+    )
+    sv.add_argument("trace_dir", help="directory of trace files the store mirrors")
+    sv.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=f"store location (default: {DEFAULT_STORE_DIRNAME} inside the "
+        "trace directory)",
+    )
+    sv.add_argument(
+        "--deep", action="store_true",
+        help="re-hash every segment (sha256) instead of checking presence "
+        "and byte sizes only — the only pass that catches a "
+        "size-preserving bit flip",
+    )
+    sv.add_argument(
+        "--output", default="-", help="scrub report JSON path ('-' for stdout)"
+    )
 
     from .checks.cli import build_lint_parser
 
@@ -449,16 +520,17 @@ def _progress_callback(args: argparse.Namespace, stage: str) -> Optional[Callabl
 def _store_config(args: argparse.Namespace, build: bool = True) -> Optional[StoreConfig]:
     """``--store``/``--no-store``/``--store-dir`` as a StoreConfig (or None).
 
-    ``--store-dir`` alone implies the store is on; an explicit
-    ``--no-store`` always wins.
+    ``--store-dir`` or ``--verify-store`` alone imply the store is on;
+    an explicit ``--no-store`` always wins.
     """
     enabled = getattr(args, "store", None)
     store_dir = getattr(args, "store_dir", None)
+    verify = bool(getattr(args, "verify_store", False))
     if enabled is None:
-        enabled = store_dir is not None
+        enabled = store_dir is not None or verify
     if not enabled:
         return None
-    return StoreConfig(dir=store_dir, build=build)
+    return StoreConfig(dir=store_dir, build=build, verify=verify)
 
 
 def _resilience_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
@@ -679,24 +751,81 @@ def _experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+#: args that never change a run's *results*, so they must not change the
+#: checkpoint digest — otherwise resuming with ``--workers 4`` (or after
+#: turning a fault plan off) would be refused for no reason.
+_CHECKPOINT_IRRELEVANT_ARGS = frozenset(
+    {
+        "workers",
+        "checkpoint",
+        "resume",
+        "checkpoint_dir",
+        "faults",
+        "max_retries",
+        "unit_timeout",
+        "store",
+        "store_dir",
+        "verify_store",
+    }
+)
+
+
+def _checkpoint_config(args: argparse.Namespace) -> Optional[CheckpointConfig]:
+    """``--checkpoint``/``--resume`` as a CheckpointConfig (or None).
+
+    The digest covers exactly the result-affecting configuration: the
+    run-plumbing args the ledger already ignores plus everything in
+    :data:`_CHECKPOINT_IRRELEVANT_ARGS` are excluded, and dataset paths
+    are normalized to absolute so the same analysis launched from a
+    different working directory still finds its checkpoint.
+    """
+    if not (getattr(args, "checkpoint", False) or getattr(args, "resume", False)):
+        return None
+    from .obs import ledger
+
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in _NON_CONFIG_ARGS and key not in _CHECKPOINT_IRRELEVANT_ARGS
+    }
+    for key in ("trace_dir", "ali_dir", "msrc_dir"):
+        if config.get(key):
+            config[key] = os.path.abspath(config[key])
+    return CheckpointConfig(
+        digest=ledger.config_digest(config),
+        dir=getattr(args, "checkpoint_dir", None) or DEFAULT_CHECKPOINT_DIR,
+        resume=bool(getattr(args, "resume", False)),
+    )
+
+
 def _stream_analyze(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from .engine import StreamingProfileAnalyzer, run_files
     from .engine.chunks import list_trace_files
 
     files = list_trace_files(args.trace_dir)
     if not files:
         raise FileNotFoundError(f"no trace files in {args.trace_dir!r}")
-    result = run_files(
-        files,
-        [StreamingProfileAnalyzer(block_size=args.block_size)],
-        fmt=args.format,
-        chunk_size=args.chunk_size,
-        workers=args.workers,
-        progress=_progress_callback(args, "fold"),
-        store=_store_config(args),
-        predicate=_row_predicate(args),
-        **_resilience_kwargs(args),
-    )
+    checkpoint = _checkpoint_config(args)
+    # Checkpointed runs turn the first SIGINT/SIGTERM into a clean
+    # RunInterrupted unwind (main() maps it to exit 128+signum after the
+    # ledger record is flushed); un-checkpointed runs keep default
+    # signal behavior.
+    guard = graceful_interrupts() if checkpoint is not None else nullcontext()
+    with guard:
+        result = run_files(
+            files,
+            [StreamingProfileAnalyzer(block_size=args.block_size)],
+            fmt=args.format,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            progress=_progress_callback(args, "fold"),
+            store=_store_config(args),
+            predicate=_row_predicate(args),
+            checkpoint=checkpoint,
+            **_resilience_kwargs(args),
+        )
     _emit_error_reports(args, result.errors)
     profiles = result.analyzer("streaming_profile")
     payload = json.dumps(
@@ -755,6 +884,36 @@ def _validate(args: argparse.Namespace) -> int:
     for issue in report.issues:
         print(issue)
     print(f"\n{len(report.issues)} issue(s) found")
+    return 1
+
+
+def _store(args: argparse.Namespace) -> int:
+    """``repro store verify``: scrub a trace store, exit 1 on corruption."""
+    from .store import scrub_store
+
+    store_dir = args.store_dir or os.path.join(args.trace_dir, DEFAULT_STORE_DIRNAME)
+    report = scrub_store(store_dir, deep=args.deep)
+    payload = json.dumps(_json_safe(report.to_dict()), indent=2, sort_keys=True)
+    if args.output == "-":
+        print(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        _log.info("scrub_report_written", path=args.output)
+    if report.ok:
+        _log.info(
+            "store_verified",
+            store_dir=store_dir,
+            deep=args.deep,
+            entries=len(report.entries),
+        )
+        return 0
+    _log.warning(
+        "store_corrupt",
+        store_dir=store_dir,
+        corrupt=len(report.corrupt),
+        unreadable=len(report.unreadable),
+    )
     return 1
 
 
@@ -836,12 +995,33 @@ def _append_run_record(
         cpu_seconds=cpu,
         exit_code=exit_code,
     )
+    path = ledger.try_append_record(record, getattr(args, "ledger_dir", None))
+    if path is not None:
+        _log.info("run_recorded", run_id=record["run_id"], path=path)
+
+
+def _invoke(handler: Callable[[argparse.Namespace], int], args: argparse.Namespace) -> int:
+    """Run a handler, mapping durable-run control flow to exit codes.
+
+    A refused resume (changed config, missing checkpoint) is an operator
+    error: exit 2.  A graceful interrupt exits ``128 + signum`` exactly
+    like the default handler would have, but only *after* the caller's
+    ``finally`` blocks flush the metrics/ledger record — the checkpoints
+    written so far are already durable, so the warning points at
+    ``--resume``.
+    """
     try:
-        path = ledger.append_record(record, getattr(args, "ledger_dir", None))
-    except OSError as exc:
-        _log.warning("ledger_unwritable", error=repr(exc))
-        return
-    _log.info("run_recorded", run_id=record["run_id"], path=path)
+        return handler(args)
+    except CheckpointError as exc:
+        _log.error("resume_refused", error=str(exc))
+        return 2
+    except RunInterrupted as exc:
+        _log.warning(
+            "run_interrupted",
+            signal=exc.signame,
+            hint="completed units are checkpointed; re-run with --resume",
+        )
+        return 128 + exc.signum
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -856,6 +1036,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _experiments,
         "stream-analyze": _stream_analyze,
         "validate": _validate,
+        "store": _store,
         "lint": _lint,
         "runs": _runs,
     }
@@ -865,7 +1046,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_out = getattr(args, "trace_out", None)
     use_ledger = args.command in _LEDGER_COMMANDS and not getattr(args, "no_ledger", False)
     if metrics_out is None and trace_out is None and not use_ledger:
-        return handler(args)
+        return _invoke(handler, args)
     # A fresh per-run registry and timeline buffer (so repeated runs in
     # one process don't mix), span tracing on whenever anything consumes
     # it (a metrics report, a trace export, or the run ledger's span
@@ -881,7 +1062,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     with collecting() as registry, timeline.collecting() as events, \
             traced(want_spans), timeline.recording(want_timeline):
         try:
-            rc = handler(args)
+            rc = _invoke(handler, args)
         finally:
             wall, cpu = perf_counter() - start, process_time() - cpu_start
             if metrics_out:

@@ -707,9 +707,12 @@ def _read_file_columns(
 
     Returns the fragments plus the file's dropped-line ledger (None when
     the policy is strict or the file parsed clean).  With ``store`` set,
-    each worker serves its file from its own store mmap when possible.
+    each worker serves its file from its own store mmap when possible;
+    ``store.verify`` keeps a collector alive even under ``strict`` so
+    store-integrity events are shipped back.
     """
-    parse_errors = None if on_error == ON_ERROR_STRICT else ParseErrors()
+    verifying = store is not None and store.verify
+    parse_errors = ParseErrors() if (on_error != ON_ERROR_STRICT or verifying) else None
     acc: Dict[str, _VolumeColumns] = {}
     for chunk in iter_chunks(
         path, fmt=fmt, chunk_size=chunk_size, on_error=on_error,
@@ -724,7 +727,7 @@ def _read_file_columns(
         cols.is_write.append(chunk.is_write)
         if chunk.response_times is not None:
             cols.response_times.append(chunk.response_times)
-    if parse_errors is not None and not parse_errors.dropped:
+    if parse_errors is not None and not (parse_errors.dropped or parse_errors.store_events):
         parse_errors = None
     return acc, parse_errors
 

@@ -55,6 +55,7 @@ re-count, so ``done`` is monotonic and ends at ``total``.
 from __future__ import annotations
 
 import math
+import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -81,6 +82,8 @@ from ..obs import metrics, timeline
 from ..obs.tracing import span
 from ..resilience import (
     ON_ERROR_STRICT,
+    CheckpointConfig,
+    Checkpointer,
     ParseErrors,
     RetryPolicy,
     RunErrors,
@@ -129,7 +132,12 @@ _UnitOut = Tuple[Any, Optional[Dict[str, Any]], Optional[List[timeline.Event]]]
 
 
 def _instrumented_unit(
-    bound: Callable[..., Any], item: Any, label: str, index: int, attempt: int
+    bound: Callable[..., Any],
+    item: Any,
+    label: str,
+    index: int,
+    attempt: int,
+    in_worker: bool = True,
 ) -> _UnitOut:
     """Run one unit in its own registry; return ``(result, snapshot, events)``.
 
@@ -138,11 +146,15 @@ def _instrumented_unit(
     plan is active) fires inside the registry so injected-fault counters
     ship back too.  Timeline events from an attempt that raises are lost
     with the attempt — only completed attempts ship events.
+
+    ``in_worker=False`` runs the same capture in the parent process — the
+    checkpointed sequential path uses it so every completed unit yields a
+    self-contained snapshot that can be persisted and replayed on resume.
     """
     with metrics.collecting() as reg, timeline.collecting() as buf:
         with timeline.unit(label, index):
             start = perf_counter()
-            faults.inject_unit_fault(label, index, attempt, in_worker=True)
+            faults.inject_unit_fault(label, index, attempt, in_worker=in_worker)
             out = bound(item)
             end = perf_counter()
             reg.histogram("engine.unit_seconds").observe(end - start)
@@ -198,17 +210,41 @@ def _run_inprocess(
     outs: List[Optional[_UnitOut]],
     fail_fast: bool,
     reg: metrics.MetricsRegistry,
-    note_done: Callable[[], None],
+    note_done: Callable[[int], None],
+    capture: bool = False,
 ) -> float:
     """Run ``indices`` in-process with the retry loop; returns busy time.
 
     Serves both the sequential (``workers <= 1``) path and in-process
     recovery after a broken pool.  Metrics record directly into the
-    caller's registry, so ``outs`` entries carry no snapshot.
+    caller's registry, so ``outs`` entries carry no snapshot — except
+    with ``capture`` set (checkpointed runs), where each unit executes
+    under its own registry exactly like a pooled worker so its snapshot
+    can be persisted; the caller merges snapshots afterwards, keeping
+    counter totals identical either way.
     """
     unit_seconds = reg.histogram("engine.unit_seconds")
     busy = 0.0
     for i in indices:
+        if capture:
+            while True:
+                attempts[i] += 1
+                try:
+                    outs[i] = _instrumented_unit(
+                        bound, items[i], labels[i], i, attempts[i], in_worker=False
+                    )
+                except Exception as exc:
+                    if fail_fast and attempts[i] >= allowance[i]:
+                        raise
+                    if _fail_or_retry(
+                        i, "exception", repr(exc), labels, attempts, allowance, retry, errors, reg
+                    ):
+                        note_done(i)
+                        break
+                    continue
+                note_done(i)
+                break
+            continue
         with timeline.unit(labels[i], i):
             while True:
                 attempts[i] += 1
@@ -223,7 +259,7 @@ def _run_inprocess(
                     if _fail_or_retry(
                         i, "exception", repr(exc), labels, attempts, allowance, retry, errors, reg
                     ):
-                        note_done()
+                        note_done(i)
                         break
                     continue
                 elapsed = perf_counter() - t0
@@ -231,7 +267,7 @@ def _run_inprocess(
                 unit_seconds.observe(elapsed)
                 timeline.record("unit", t0, t0 + elapsed)
                 outs[i] = (value, None, None)
-                note_done()
+                note_done(i)
                 break
     return busy
 
@@ -256,10 +292,10 @@ def _run_pooled(
     fail_fast: bool,
     reg: metrics.MetricsRegistry,
     workers: int,
-    note_done: Callable[[], None],
+    note_done: Callable[[int], None],
+    pending: Sequence[int],
 ) -> float:
-    """Fan units out across a process pool with retries and timeouts."""
-    n = len(items)
+    """Fan ``pending`` units out across a process pool with retries/timeouts."""
     busy = 0.0
     terminal_failed: Set[int] = set()
     info: Dict["Future[_UnitOut]", Tuple[int, float]] = {}
@@ -274,7 +310,7 @@ def _run_pooled(
 
     try:
         try:
-            for i in range(n):
+            for i in pending:
                 submit(i)
             while info:
                 timeout: Optional[float] = None
@@ -301,7 +337,7 @@ def _run_pooled(
                             terminal_failed.add(i)
                             if fail_fast:
                                 raise UnitTimeoutError(message)
-                            note_done()
+                            note_done(i)
                         else:
                             submit(i)
                     continue
@@ -320,11 +356,11 @@ def _run_pooled(
                             terminal_failed.add(i)
                             if fail_fast:
                                 raise
-                            note_done()
+                            note_done(i)
                         else:
                             submit(i)
                     else:
-                        note_done()
+                        note_done(i)
                 if broken:
                     raise BrokenProcessPool("a worker process died unexpectedly")
         except BrokenProcessPool:
@@ -335,7 +371,7 @@ def _run_pooled(
             reg.counter("engine.pool_breaks").inc()
             info.clear()
             interrupted = [
-                i for i in range(n) if outs[i] is None and i not in terminal_failed
+                i for i in pending if outs[i] is None and i not in terminal_failed
             ]
             for i in interrupted:
                 allowance[i] += 1
@@ -364,8 +400,17 @@ def _map_core(
     fail_fast: bool,
     errors: RunErrors,
     kwargs: Dict[str, Any],
+    checkpoint: Optional[Checkpointer] = None,
 ) -> List[Optional[Any]]:
-    """Shared execution core of :func:`parallel_map` / :func:`resilient_map`."""
+    """Shared execution core of :func:`parallel_map` / :func:`resilient_map`.
+
+    With ``checkpoint`` set, each completed unit's ``(value, snapshot)``
+    is persisted as it finishes and previously persisted units are
+    preloaded instead of re-executed.  Results and merged metrics stay
+    bit-identical: ``outs`` keeps submission order regardless of which
+    units ran live, and resumed snapshots merge exactly like shipped-back
+    worker snapshots.
+    """
     bound = partial(fn, **kwargs) if kwargs else fn
     items = list(items)
     n = len(items)
@@ -379,22 +424,34 @@ def _map_core(
     allowance = [retry.max_attempts if retry is not None else 1] * n
     done = 0
 
-    def note_done() -> None:
+    def note_done(i: int) -> None:
         nonlocal done
         done += 1
+        if checkpoint is not None and outs[i] is not None:
+            checkpoint.save(i, outs[i][0], outs[i][1])
         if progress is not None:
             progress(done, n)
+        faults.inject_parent_fault(done)
 
-    pooled = workers > 1 and n > 1
+    pending = list(range(n))
+    if checkpoint is not None:
+        resumed = checkpoint.begin()
+        for i in sorted(resumed):
+            value, snap = resumed[i]
+            outs[i] = (value, snap, None)
+            note_done(i)
+        pending = [i for i in range(n) if i not in resumed]
+
+    pooled = workers > 1 and len(pending) > 1
     if pooled:
         busy = _run_pooled(
             bound, items, labels, attempts, allowance, retry, unit_timeout,
-            errors, outs, fail_fast, reg, workers, note_done,
+            errors, outs, fail_fast, reg, workers, note_done, pending,
         )
     else:
         busy = _run_inprocess(
-            bound, items, range(n), labels, attempts, allowance, retry,
-            errors, outs, fail_fast, reg, note_done,
+            bound, items, pending, labels, attempts, allowance, retry,
+            errors, outs, fail_fast, reg, note_done, capture=checkpoint is not None,
         )
     results: List[Optional[Any]] = []
     tl = timeline.get_timeline()
@@ -578,9 +635,12 @@ def _fold_file(
     time and accounted in the returned :class:`ParseErrors` (None when
     the file was clean).  With ``store`` set the chunks come from the
     worker's own store mmap when a fresh entry exists (zero parsing; the
-    ledger is replayed from the entry's manifest).
+    ledger is replayed from the entry's manifest); with ``store.verify``
+    additionally set, a collector travels even under ``strict`` so
+    store-integrity events (corruption, quarantine, self-heal) ship back.
     """
-    if on_error == ON_ERROR_STRICT:
+    verifying = store is not None and store.verify
+    if on_error == ON_ERROR_STRICT and not verifying:
         chunks = iter_chunks(path, fmt=fmt, chunk_size=chunk_size, store=store, plan=plan)
         return _fold_chunks(analyzers, chunks, plan), None
     parse_errors = ParseErrors()
@@ -592,7 +652,8 @@ def _fold_file(
         ),
         plan,
     )
-    return states, parse_errors if parse_errors.dropped else None
+    dirty = parse_errors.dropped or parse_errors.store_events
+    return states, parse_errors if dirty else None
 
 
 def _planned_trace_chunks(
@@ -672,6 +733,7 @@ def run_files(
     unit_timeout: Optional[float] = None,
     store: Optional["StoreConfig"] = None,
     predicate: Optional[RowPredicate] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> EngineResult:
     """Run analyzers over trace files, one parse per file.
 
@@ -699,11 +761,24 @@ def run_files(
     data path then loads only planned columns and serves only matching
     rows (a warm store skips provably disjoint chunks outright).  Results
     equal the unpruned run post-filtered, at any worker count.
+
+    Durability: with ``checkpoint`` set (see
+    :class:`~repro.resilience.CheckpointConfig`), each completed unit's
+    partial state is persisted atomically as it finishes; a resumed run
+    (``checkpoint.resume``) preloads those states and executes only the
+    missing units, producing bit-identical results at any worker count.
+    The checkpoint directory is cleared on full success and kept while
+    any unit failed permanently, so a later resume can retry it.
     """
     on_error = validate_on_error(on_error)
     paths = list(paths)
     plan = plan_for(analyzers, predicate)
     errors = RunErrors(policy=on_error)
+    checkpointer = (
+        Checkpointer(checkpoint, [os.path.abspath(p) for p in paths])
+        if checkpoint is not None
+        else None
+    )
     pairs = _map_core(
         _fold_file,
         paths,
@@ -721,6 +796,7 @@ def run_files(
             "store": store,
             "plan": plan,
         },
+        checkpoint=checkpointer,
     )
     state_parts: List[_StateMap] = []
     for pair in pairs:
@@ -731,7 +807,10 @@ def run_files(
             errors.absorb_parse(parse_errors)
         state_parts.append(states)
     merged = _merge_states(analyzers, state_parts)
-    return _finalize(analyzers, merged, len(paths), workers, chunk_size, errors)
+    result = _finalize(analyzers, merged, len(paths), workers, chunk_size, errors)
+    if checkpointer is not None and not result.errors.failed_units:
+        checkpointer.clear()
+    return result
 
 
 def run_dataset(
@@ -787,6 +866,7 @@ def run(
     unit_timeout: Optional[float] = None,
     store: Optional["StoreConfig"] = None,
     predicate: Optional[RowPredicate] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> EngineResult:
     """Run analyzers over a trace directory, file list, or dataset.
 
@@ -815,6 +895,10 @@ def run(
             kind).  Results are bit-identical to running unfiltered and
             post-filtering the inputs, but the data path prunes instead
             of materializing (see :mod:`repro.engine.plan`).
+        checkpoint: optional
+            :class:`~repro.resilience.CheckpointConfig` for durable runs
+            over path sources (in-memory datasets have no stable on-disk
+            unit identity and are not checkpointed).
     """
     if isinstance(source, TraceDataset):
         return run_dataset(
@@ -826,5 +910,5 @@ def run(
     return run_files(
         source, analyzers, fmt=fmt, chunk_size=chunk_size, workers=workers,
         progress=progress, on_error=on_error, retry=retry, unit_timeout=unit_timeout,
-        store=store, predicate=predicate,
+        store=store, predicate=predicate, checkpoint=checkpoint,
     )

@@ -21,6 +21,16 @@ to break:
   or an in-process re-execution recovers them.
 * **slow units** — units matching ``slow_units`` sleep ``slow_seconds``
   while ``attempt <= slow_attempts``, for exercising ``unit_timeout``.
+* **parent kills** — ``kill_parent_after_units`` takes down the *parent*
+  process (the run driver itself) once that many units have completed,
+  with ``kill_parent_signal`` choosing SIGKILL/SIGTERM/SIGINT; the
+  checkpoint/resume drills use it to prove a killed run resumes to a
+  bit-identical result.
+* **ingest crashes** — files matching ``ingest_crash_files`` (basenames)
+  die mid-ingest, after the column arrays are written but *before* the
+  manifest (``ingest_crash_kind`` = ``"kill"`` SIGKILLs the process,
+  ``"raise"`` raises :class:`InjectedFault`), proving an interrupted
+  ingest can never leave a partial entry behind.
 
 Activation is either explicit (:func:`activate`, used by tests) or via
 the ``REPRO_FAULTS`` environment variable naming a plan JSON file — the
@@ -53,6 +63,8 @@ __all__ = [
     "save_plan",
     "line_corruptor",
     "inject_unit_fault",
+    "inject_parent_fault",
+    "inject_ingest_fault",
 ]
 
 #: Environment variable naming a JSON fault-plan file to auto-activate.
@@ -82,17 +94,33 @@ class FaultPlan:
     slow_units: Tuple[_UNIT_MATCH, ...] = ()
     slow_seconds: float = 0.0
     slow_attempts: int = 1
+    kill_parent_after_units: int = 0  # 0 = disabled
+    kill_parent_signal: str = "kill"  # "kill" | "term" | "int"
+    ingest_crash_files: Tuple[str, ...] = ()  # basenames
+    ingest_crash_kind: str = "kill"  # "kill" | "raise"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.corrupt_rate <= 1.0:
             raise ValueError("corrupt_rate must be in [0, 1]")
         if self.crash_kind not in ("raise", "kill"):
             raise ValueError(f"crash_kind must be 'raise' or 'kill', got {self.crash_kind!r}")
+        if self.kill_parent_after_units < 0:
+            raise ValueError("kill_parent_after_units must be >= 0")
+        if self.kill_parent_signal not in _PARENT_SIGNALS:
+            raise ValueError(
+                f"kill_parent_signal must be one of {sorted(_PARENT_SIGNALS)}, "
+                f"got {self.kill_parent_signal!r}"
+            )
+        if self.ingest_crash_kind not in ("raise", "kill"):
+            raise ValueError(
+                f"ingest_crash_kind must be 'raise' or 'kill', got {self.ingest_crash_kind!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
         payload["crash_units"] = list(self.crash_units)
         payload["slow_units"] = list(self.slow_units)
+        payload["ingest_crash_files"] = list(self.ingest_crash_files)
         if self.corrupt_files is not None:
             payload["corrupt_files"] = list(self.corrupt_files)
         return payload
@@ -104,7 +132,7 @@ class FaultPlan:
         if unknown:
             raise ValueError(f"unknown fault-plan fields: {sorted(unknown)}")
         data = dict(payload)
-        for key in ("crash_units", "slow_units"):
+        for key in ("crash_units", "slow_units", "ingest_crash_files"):
             if key in data:
                 data[key] = tuple(data[key])
         if data.get("corrupt_files") is not None:
@@ -125,8 +153,16 @@ def save_plan(plan: FaultPlan, path: str) -> None:
         fh.write("\n")
 
 
+#: Signal names a parent-kill fault may send to the run driver.
+_PARENT_SIGNALS: Dict[str, int] = {
+    "kill": signal.SIGKILL,
+    "term": signal.SIGTERM,
+    "int": signal.SIGINT,
+}
+
 _plan: Optional[FaultPlan] = None
 _env_checked = False
+_parent_fault_fired = False
 
 
 def activate(plan: FaultPlan) -> None:
@@ -160,9 +196,10 @@ def active_plan() -> Optional[FaultPlan]:
 
 def _reset_for_tests() -> None:
     """Forget all activation state (test isolation helper)."""
-    global _plan, _env_checked
+    global _plan, _env_checked, _parent_fault_fired
     _plan = None
     _env_checked = False
+    _parent_fault_fired = False
 
 
 def _matches(targets: Tuple[_UNIT_MATCH, ...], label: str, index: int) -> bool:
@@ -224,3 +261,45 @@ def inject_unit_fault(label: str, index: int, attempt: int, in_worker: bool) -> 
         if plan.crash_kind == "kill" and in_worker:
             os.kill(os.getpid(), signal.SIGKILL)
         raise InjectedFault(f"injected fault for unit {label!r} (attempt {attempt})")
+
+
+def inject_parent_fault(done_units: int) -> None:
+    """Kill the run driver once ``done_units`` units have completed.
+
+    Called by the engine (parent process only) after each unit reaches a
+    terminal state.  Fires at most once per process — signals that can be
+    handled (SIGTERM/SIGINT) unwind through the graceful-interrupt path,
+    and re-firing while unwinding would turn the graceful exit into a
+    force-exit.  The checkpoint drills use SIGKILL mid-run and then prove
+    ``--resume`` reproduces the uninterrupted result bit-for-bit.
+    """
+    global _parent_fault_fired
+    plan = active_plan()
+    if plan is None or plan.kill_parent_after_units <= 0 or _parent_fault_fired:
+        return
+    if done_units < plan.kill_parent_after_units:
+        return
+    _parent_fault_fired = True
+    metrics.counter("faults.injected_parent_kills").inc()
+    os.kill(os.getpid(), _PARENT_SIGNALS[plan.kill_parent_signal])
+
+
+def inject_ingest_fault(path: str) -> None:
+    """Crash an ingest between its column writes and its manifest write.
+
+    Called by the store builder for each entry it builds, at the worst
+    possible moment: every ``.npy`` segment is on disk but the manifest
+    (written last, the entry's commit point) is not.  A matching basename
+    dies via SIGKILL (``ingest_crash_kind="kill"``) or raises
+    :class:`InjectedFault` (``"raise"``); the atomic-ingest drill then
+    asserts no partial entry is visible and the next ingest rebuilds.
+    """
+    plan = active_plan()
+    if plan is None or not plan.ingest_crash_files:
+        return
+    if os.path.basename(path) not in plan.ingest_crash_files:
+        return
+    metrics.counter("faults.injected_ingest_crashes").inc()
+    if plan.ingest_crash_kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise InjectedFault(f"injected ingest crash for {os.path.basename(path)!r}")

@@ -50,6 +50,7 @@ __all__ = [
     "span_stats",
     "build_record",
     "append_record",
+    "try_append_record",
     "record_path",
     "list_records",
     "load_record",
@@ -210,6 +211,25 @@ def append_record(record: Dict[str, Any], ledger_dir: Optional[str] = None) -> s
         fh.write("\n")
     os.replace(tmp, path)
     return path
+
+
+def try_append_record(
+    record: Dict[str, Any], ledger_dir: Optional[str] = None
+) -> Optional[str]:
+    """:func:`append_record`, degrading to ``None`` on :class:`OSError`.
+
+    The ledger is an observer of the run, never a participant: a full
+    disk or read-only ledger directory must not fail an analysis that
+    already produced its results.  Failures log a structured warning
+    (``ledger_unwritable``) and the run continues.
+    """
+    from .logging import get_logger
+
+    try:
+        return append_record(record, ledger_dir)
+    except OSError as exc:
+        get_logger("repro.obs").warning("ledger_unwritable", error=repr(exc))
+        return None
 
 
 def list_records(ledger_dir: Optional[str] = None) -> List[str]:

@@ -8,9 +8,13 @@ account-for-everything degradation layer:
   ``quarantine`` record-level error policies and the deterministic
   :class:`RetryPolicy` for unit-level recovery.
 * :mod:`~repro.resilience.report` — the structured error ledger
-  (:class:`RunErrors`, :class:`UnitFailure`, :class:`QuarantineRecord`)
-  that a resilient run returns alongside its results, merged in
-  deterministic submission order at any worker count.
+  (:class:`RunErrors`, :class:`UnitFailure`, :class:`QuarantineRecord`,
+  :class:`StoreCorruption`) that a resilient run returns alongside its
+  results, merged in deterministic submission order at any worker count.
+* :mod:`~repro.resilience.checkpoint` — durable runs: per-unit state
+  checkpoints keyed by config digest, ``--resume`` support, and graceful
+  SIGINT/SIGTERM handling, so a killed run restarts where it stopped with
+  bit-identical results.
 
 The engine (:mod:`repro.engine.runner`, :mod:`repro.engine.chunks`)
 threads these through every fan-out; the CLI exposes them as
@@ -19,6 +23,13 @@ threads these through every fan-out; the CLI exposes them as
 for tests and chaos drills lives in :mod:`repro.faults`.
 """
 
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    Checkpointer,
+    RunInterrupted,
+    graceful_interrupts,
+)
 from .policy import (
     ON_ERROR_CHOICES,
     ON_ERROR_QUARANTINE,
@@ -34,12 +45,18 @@ from .report import (
     ParseErrors,
     QuarantineRecord,
     RunErrors,
+    StoreCorruption,
     UnitFailure,
     unit_label,
     write_quarantine_jsonl,
 )
 
 __all__ = [
+    "CheckpointConfig",
+    "CheckpointError",
+    "Checkpointer",
+    "RunInterrupted",
+    "graceful_interrupts",
     "ON_ERROR_CHOICES",
     "ON_ERROR_QUARANTINE",
     "ON_ERROR_SKIP",
@@ -52,6 +69,7 @@ __all__ = [
     "ParseErrors",
     "QuarantineRecord",
     "RunErrors",
+    "StoreCorruption",
     "UnitFailure",
     "unit_label",
     "write_quarantine_jsonl",

@@ -12,9 +12,14 @@ run returns alongside its results:
   collectors in deterministic submission order.
 * :class:`UnitFailure` — one unit of work (a file or a volume) that
   failed permanently after its retry budget.
+* :class:`StoreCorruption` — one store entry that failed integrity
+  verification while serving: which segments were bad, where the entry
+  was quarantined, and whether a rebuild from the source text self-healed
+  it.
 * :class:`RunErrors` — the whole run's account: failed units, dropped /
-  quarantined line counts, retry / timeout / pool-break totals, and the
-  merged quarantine sample.  ``EngineResult.errors`` is one of these.
+  quarantined line counts, store corruptions, retry / timeout /
+  pool-break totals, and the merged quarantine sample.
+  ``EngineResult.errors`` is one of these.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .policy import ON_ERROR_QUARANTINE, ON_ERROR_STRICT
 
@@ -31,6 +36,7 @@ __all__ = [
     "QUARANTINE_SAMPLE_TOTAL",
     "QuarantineRecord",
     "ParseErrors",
+    "StoreCorruption",
     "UnitFailure",
     "RunErrors",
     "unit_label",
@@ -73,13 +79,36 @@ class QuarantineRecord:
         return asdict(self)
 
 
+@dataclass(frozen=True)
+class StoreCorruption:
+    """One store entry that failed integrity verification while serving."""
+
+    file: str
+    entry: str
+    issues: Tuple[str, ...]
+    quarantined_to: Optional[str] = None
+    healed: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["issues"] = list(self.issues)
+        return payload
+
+
 @dataclass
 class ParseErrors:
-    """Per-unit dropped-line ledger: exact count, bounded sample."""
+    """Per-unit dropped-line ledger: exact count, bounded sample.
+
+    Also carries the unit's store-integrity events (``store_events``):
+    entries found corrupt under ``--verify-store``, quarantined, and
+    possibly self-healed — shipped back with the unit result and folded
+    into :class:`RunErrors` in submission order like everything else.
+    """
 
     dropped: int = 0
     sample: List[QuarantineRecord] = field(default_factory=list)
     sample_cap: int = QUARANTINE_SAMPLE_PER_UNIT
+    store_events: List[StoreCorruption] = field(default_factory=list)
 
     def record(self, file: str, lineno: int, reason: str, line: str, keep_sample: bool) -> None:
         self.dropped += 1
@@ -117,6 +146,7 @@ class RunErrors:
     quarantined_lines: int = 0
     skipped_lines: int = 0
     quarantine_sample: List[QuarantineRecord] = field(default_factory=list)
+    store_corruptions: List[StoreCorruption] = field(default_factory=list)
     retries: int = 0
     timeouts: int = 0
     pool_breaks: int = 0
@@ -132,6 +162,7 @@ class RunErrors:
         return (
             not self.failed_units
             and self.dropped_lines == 0
+            and not self.store_corruptions
             and self.retries == 0
             and self.timeouts == 0
             and self.pool_breaks == 0
@@ -139,13 +170,15 @@ class RunErrors:
 
     def absorb_parse(self, errors: ParseErrors) -> None:
         """Fold one unit's dropped-line ledger in (submission order)."""
-        if self.policy == ON_ERROR_QUARANTINE:
-            self.quarantined_lines += errors.dropped
-            room = QUARANTINE_SAMPLE_TOTAL - len(self.quarantine_sample)
-            if room > 0:
-                self.quarantine_sample.extend(errors.sample[:room])
-        else:
-            self.skipped_lines += errors.dropped
+        if errors.dropped:
+            if self.policy == ON_ERROR_QUARANTINE:
+                self.quarantined_lines += errors.dropped
+                room = QUARANTINE_SAMPLE_TOTAL - len(self.quarantine_sample)
+                if room > 0:
+                    self.quarantine_sample.extend(errors.sample[:room])
+            else:
+                self.skipped_lines += errors.dropped
+        self.store_corruptions.extend(errors.store_events)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready report (the ``--errors-out`` payload)."""
@@ -155,6 +188,7 @@ class RunErrors:
             "failed_units": [f.to_dict() for f in self.failed_units],
             "quarantined_lines": self.quarantined_lines,
             "skipped_lines": self.skipped_lines,
+            "store_corruptions": [c.to_dict() for c in self.store_corruptions],
             "retries": self.retries,
             "timeouts": self.timeouts,
             "pool_breaks": self.pool_breaks,

@@ -20,7 +20,12 @@ per-file binary columnar cache:
   path produces, so results stay bit-identical at any worker count;
 * the ingest's **fault ledger** (dropped-line counts, quarantine
   samples) is persisted in the manifest and replayed on warm runs, so
-  cached results keep exact error accounting.
+  cached results keep exact error accounting;
+* **integrity** (:mod:`repro.store.scrub`): v3 manifests record each
+  segment's byte size and sha256; ``repro store verify`` scrubs a store
+  (``--deep`` re-hashes bytes), and serving with ``StoreConfig.verify``
+  quarantines corrupt entries and self-heals them by rebuilding from the
+  source text — v2 entries upgrade in place on first touch.
 
 Quickstart::
 
@@ -39,12 +44,14 @@ from .manifest import (
     MANIFEST_NAME,
     PARSER_VERSION,
     STORE_FORMAT_VERSION,
+    UPGRADEABLE_VERSIONS,
     Manifest,
     SourceStamp,
     ZoneMaps,
     ZoneStats,
     compatible_policy,
     entry_dir,
+    segment_files,
 )
 from .reader import (
     ENTRY_FRESH,
@@ -56,6 +63,16 @@ from .reader import (
     serve_chunks,
     try_serve,
 )
+from .scrub import (
+    EntryIssue,
+    EntryReport,
+    ScrubReport,
+    file_sha256,
+    load_current_manifest,
+    scrub_store,
+    upgrade_entry,
+    verify_entry,
+)
 
 __all__ = [
     "DEFAULT_STORE_DIRNAME",
@@ -63,12 +80,14 @@ __all__ = [
     "MANIFEST_NAME",
     "PARSER_VERSION",
     "STORE_FORMAT_VERSION",
+    "UPGRADEABLE_VERSIONS",
     "Manifest",
     "SourceStamp",
     "ZoneMaps",
     "ZoneStats",
     "compatible_policy",
     "entry_dir",
+    "segment_files",
     "IngestFileReport",
     "build_entry",
     "ingest_file",
@@ -81,4 +100,12 @@ __all__ = [
     "entry_status",
     "serve_chunks",
     "try_serve",
+    "EntryIssue",
+    "EntryReport",
+    "ScrubReport",
+    "file_sha256",
+    "load_current_manifest",
+    "scrub_store",
+    "upgrade_entry",
+    "verify_entry",
 ]

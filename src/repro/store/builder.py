@@ -12,6 +12,7 @@ entries.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import shutil
 from dataclasses import asdict, dataclass
@@ -20,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..obs import metrics
 from ..obs.logging import get_logger
 from ..resilience import ON_ERROR_QUARANTINE, ON_ERROR_STRICT, ParseErrors, validate_on_error
@@ -138,6 +140,42 @@ def _volume_rows(codes: np.ndarray, ids: List[str], n: int) -> Dict[str, List[in
     return spans
 
 
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid still running (or unprobeable)?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        # Exists but owned by someone else, or unprobeable: assume alive.
+        return True
+    return True
+
+
+def _clean_stale_tmp(entry: str) -> None:
+    """Remove abandoned ``<entry>.tmp-<pid>`` dirs whose builder died.
+
+    A SIGKILL mid-build leaves the temp directory behind (the ``except``
+    cleanup never runs); the manifest-last discipline means it holds no
+    entry a reader would trust, but it wastes disk forever.  The next
+    builder of the same entry sweeps temp dirs whose owning pid is gone —
+    live pids are left alone (a concurrent build in flight).
+    """
+    parent, base = os.path.split(entry)
+    prefix = f"{base}.tmp-"
+    try:
+        siblings = os.listdir(parent or ".")
+    except OSError:
+        return
+    for name in siblings:
+        if not name.startswith(prefix):
+            continue
+        suffix = name[len(prefix):]
+        if suffix.isdigit() and suffix != str(os.getpid()) and not _pid_alive(int(suffix)):
+            _log.info("store_stale_tmp_removed", path=os.path.join(parent, name))
+            shutil.rmtree(os.path.join(parent, name), ignore_errors=True)
+
+
 def _swap_into_place(tmp: str, entry: str) -> bool:
     """Move a fully built tmp entry to its final name; False on a lost race."""
     if os.path.isdir(entry):
@@ -208,6 +246,7 @@ def build_entry(
     )
 
     entry = entry_dir(StoreConfig(dir=store_dir).dir_for(path), path)
+    _clean_stale_tmp(entry)
     tmp = f"{entry}.tmp-{os.getpid()}"
     shutil.rmtree(tmp, ignore_errors=True)
     os.makedirs(tmp)
@@ -225,9 +264,20 @@ def build_entry(
         written = 0
         for filename, array in arrays.items():
             target = os.path.join(tmp, filename)
+            sha = hashlib.sha256()
             with open(target, "wb") as fh:
                 np.save(fh, array, allow_pickle=False)
-            written += os.path.getsize(target)
+            with open(target, "rb") as fh:
+                for block in iter(lambda: fh.read(1 << 20), b""):
+                    sha.update(block)
+            size = os.path.getsize(target)
+            manifest.column_bytes[filename] = size
+            manifest.column_hashes[filename] = sha.hexdigest()
+            written += size
+        # The drill's worst-case crash point: columns durable, manifest
+        # (the commit record) not yet written — the entry must stay
+        # invisible to every reader.
+        faults.inject_ingest_fault(path)
         with open(os.path.join(tmp, MANIFEST_NAME), "w", encoding="utf-8") as fh:
             fh.write(manifest.to_json() + "\n")
     except BaseException:
@@ -277,10 +327,11 @@ def ingest_file(
     is reused as-is unless ``force`` is set.
     """
     from .manifest import compatible_policy
+    from .scrub import load_current_manifest
 
     entry = entry_dir(StoreConfig(dir=store_dir).dir_for(path), path)
     if not force:
-        manifest = Manifest.load(entry)
+        manifest = load_current_manifest(entry, path)
         if (
             manifest is not None
             and manifest.is_fresh(path)

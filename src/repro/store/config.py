@@ -30,10 +30,17 @@ class StoreConfig:
             ingest).  ``False`` serves hits only and leaves misses to the
             text parser — used by read-only consumers such as
             ``repro validate``.
+        verify: deep-verify (sha256 per segment) every fresh entry before
+            serving it.  A corrupt entry is quarantined, recorded in the
+            run's fault ledger, and — when ``build`` is set and the
+            source text file still exists — rebuilt from source
+            (self-heal).  Costs one hash pass per entry per run; off by
+            default.
     """
 
     dir: Optional[str] = None
     build: bool = True
+    verify: bool = False
 
     def dir_for(self, path: str) -> str:
         """The store directory responsible for ``path``'s entry."""

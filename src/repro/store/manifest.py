@@ -19,7 +19,11 @@ still speaks for the source:
   offset, row and write counts over fixed ``zone_rows`` row spans, plus
   per-volume ``[first, last]`` row ranges — statistics the reader uses
   to prove whole chunks disjoint from a query predicate and skip them
-  without touching their bytes.
+  without touching their bytes;
+* per-segment **byte sizes and sha256 hashes** (v3+) — the integrity
+  surface ``repro store verify`` scrubs and ``--verify-store`` checks
+  before trusting an mmap, so bit rot is detected instead of silently
+  analyzed.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from ..resilience import QuarantineRecord
 
 __all__ = [
     "STORE_FORMAT_VERSION",
+    "UPGRADEABLE_VERSIONS",
     "PARSER_VERSION",
     "MANIFEST_NAME",
     "COLUMN_FILES",
@@ -44,13 +49,22 @@ __all__ = [
     "ZoneStats",
     "Manifest",
     "entry_dir",
+    "segment_files",
     "compatible_policy",
 ]
 
 #: On-disk layout version; bump when the segment layout changes.
 #: v2: manifests carry zone maps and per-volume row ranges (query
 #: planning); v1 entries read as stale and rebuild on first use.
-STORE_FORMAT_VERSION = 2
+#: v3: manifests carry per-segment byte sizes and sha256 hashes
+#: (integrity scrubbing); the segment layout itself is unchanged, so v2
+#: entries upgrade in place (hashes computed from the existing segments)
+#: instead of rebuilding — see ``repro.store.scrub.upgrade_entry``.
+STORE_FORMAT_VERSION = 3
+
+#: Prior versions whose segment layout matches the current one, making an
+#: in-place manifest upgrade (no re-parse) sufficient.
+UPGRADEABLE_VERSIONS = frozenset({2})
 
 #: Version of the text-parse semantics the columns were produced by.
 #: Bump whenever :mod:`repro.engine.chunks` / :mod:`repro.trace.reader`
@@ -171,8 +185,26 @@ class Manifest:
     #: volume id -> [first, last] file-order row index of that volume's
     #: rows (its rows need not be contiguous; this is the hull).
     volume_rows: Dict[str, List[int]] = field(default_factory=dict)
+    #: segment filename -> byte size at build time (v3+; empty for older
+    #: entries until upgraded).
+    column_bytes: Dict[str, int] = field(default_factory=dict)
+    #: segment filename -> sha256 hex digest of its bytes (v3+).
+    column_hashes: Dict[str, str] = field(default_factory=dict)
     store_format_version: int = STORE_FORMAT_VERSION
     parser_version: int = PARSER_VERSION
+
+    def source_fresh(self, path: str) -> bool:
+        """True when the source stamp (size + mtime) still matches ``path``.
+
+        The stamp-only half of :meth:`is_fresh` — version-agnostic, so the
+        in-place v2 upgrade can check the source hasn't changed before
+        trusting the old segments.
+        """
+        try:
+            st = os.stat(path)
+        except OSError:
+            return False
+        return st.st_size == self.source.size and st.st_mtime_ns == self.source.mtime_ns
 
     def is_fresh(self, path: str) -> bool:
         """True when this entry still mirrors ``path`` exactly.
@@ -185,11 +217,7 @@ class Manifest:
             return False
         if self.parser_version != PARSER_VERSION:
             return False
-        try:
-            st = os.stat(path)
-        except OSError:
-            return False
-        return st.st_size == self.source.size and st.st_mtime_ns == self.source.mtime_ns
+        return self.source_fresh(path)
 
     def to_json(self) -> str:
         payload: Dict[str, Any] = asdict(self)
@@ -203,6 +231,8 @@ class Manifest:
         zones = raw.get("zones")
         raw["zones"] = ZoneMaps(**zones) if zones else None
         raw.setdefault("volume_rows", {})
+        raw.setdefault("column_bytes", {})
+        raw.setdefault("column_hashes", {})
         return cls(**raw)
 
     @classmethod
@@ -214,6 +244,17 @@ class Manifest:
                 return cls.from_json(fh.read())
         except (OSError, ValueError, KeyError, TypeError):
             return None
+
+
+def segment_files(manifest: Manifest) -> List[str]:
+    """The ``.npy`` segment filenames this entry must hold, in canonical
+    order — the scrub/verify surface."""
+    names = list(COLUMN_FILES.values())
+    if manifest.has_response:
+        names.append(RESPONSE_FILE)
+    if manifest.has_codes:
+        names.append(CODES_FILE)
+    return names
 
 
 def compatible_policy(manifest: Manifest, on_error: str) -> bool:

@@ -17,7 +17,8 @@ crosses a process pool.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import shutil
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 import numpy as np
@@ -30,6 +31,7 @@ from ..resilience import (
     ON_ERROR_SKIP,
     ON_ERROR_STRICT,
     ParseErrors,
+    StoreCorruption,
 )
 from .config import StoreConfig
 from .manifest import (
@@ -41,6 +43,7 @@ from .manifest import (
     compatible_policy,
     entry_dir,
 )
+from .scrub import load_current_manifest, verify_entry
 
 if TYPE_CHECKING:  # circular at runtime: engine.chunks lazily imports us
     from ..engine.chunks import Chunk
@@ -90,7 +93,7 @@ def entry_status(
     ``miss`` return ``None``.
     """
     entry = entry_dir(store.dir_for(path), path)
-    manifest = Manifest.load(entry)
+    manifest = load_current_manifest(entry, path)
     if manifest is None:
         return ENTRY_MISS, None
     if (
@@ -355,6 +358,43 @@ def serve_chunks(
             )
 
 
+def _quarantine_entry(entry: StoreEntry, issues) -> StoreCorruption:
+    """Move a corrupt entry aside so nothing ever serves it again.
+
+    The entry directory is renamed to ``<entry>.corrupt-<pid>`` —
+    preserved for forensics, invisible to every reader (no manifest at
+    the entry path) and to the scrub walk (listed separately).  When the
+    rename itself fails the entry is deleted outright: a corrupt entry
+    that stays serveable is the one unacceptable outcome.
+    """
+    target: Optional[str] = f"{entry.entry}.corrupt-{os.getpid()}"
+    try:
+        if target is not None and os.path.isdir(target):
+            # Same process quarantined this entry before; one forensic
+            # copy is enough.
+            shutil.rmtree(target)
+        os.rename(entry.entry, target)
+    except OSError as exc:
+        _log.warning("store_quarantine_rename_failed", entry=entry.entry, error=repr(exc))
+        shutil.rmtree(entry.entry, ignore_errors=True)
+        target = None
+    corruption = StoreCorruption(
+        file=entry.source,
+        entry=entry.entry,
+        issues=tuple(issue.detail for issue in issues),
+        quarantined_to=target,
+    )
+    metrics.counter("store.corrupt_entries").inc()
+    _log.warning(
+        "store_entry_quarantined",
+        path=entry.source,
+        entry=entry.entry,
+        quarantined_to=target,
+        issues=list(corruption.issues),
+    )
+    return corruption
+
+
 def try_serve(
     path: str,
     fmt: str,
@@ -373,17 +413,37 @@ def try_serve(
     file raises the parser's exact ``TraceFormatError`` — the same
     behavior, message, and line number as the text path.  ``plan`` (when
     given) is pushed down into :func:`serve_chunks`.
+
+    With ``store.verify`` set, a fresh entry is deep-verified (sha256
+    per segment) before anything trusts its mmap.  A corrupt entry is
+    quarantined (renamed aside), recorded as a
+    :class:`~repro.resilience.StoreCorruption` in ``errors``, and — the
+    source text file necessarily still matching its stamp, or the entry
+    would have been stale — **self-healed** by rebuilding from source,
+    exactly like a miss.  Results are identical to a never-corrupted run.
     """
     from .builder import build_entry
 
     reg = metrics.get_registry()
     status, entry = entry_status(path, store, fmt, skip_header, on_error)
+    corruption: Optional[StoreCorruption] = None
     if status == ENTRY_FRESH and entry is not None:
-        return serve_chunks(entry, chunk_size, on_error, errors, plan=plan)
-    reg.counter("store.misses").inc()
-    if status == ENTRY_STALE:
-        reg.counter("store.stale_entries").inc()
-    if not store.build:
+        if store.verify:
+            issues = verify_entry(entry.entry, entry.manifest, deep=True)
+            if not issues:
+                reg.counter("store.entries_verified").inc()
+                return serve_chunks(entry, chunk_size, on_error, errors, plan=plan)
+            corruption = _quarantine_entry(entry, issues)
+            # Fall through: a quarantined entry is now a rebuildable miss.
+        else:
+            return serve_chunks(entry, chunk_size, on_error, errors, plan=plan)
+    if corruption is None:
+        reg.counter("store.misses").inc()
+        if status == ENTRY_STALE:
+            reg.counter("store.stale_entries").inc()
+    if not store.build or (corruption is not None and not os.path.isfile(path)):
+        if corruption is not None and errors is not None:
+            errors.store_events.append(corruption)
         return None
     try:
         entry_path, manifest = build_entry(
@@ -395,7 +455,15 @@ def try_serve(
         # count it, say so, and let the text path take over.
         reg.counter("store.build_errors").inc()
         _log.warning("store_build_failed", path=path, error=repr(exc))
+        if corruption is not None and errors is not None:
+            errors.store_events.append(corruption)
         return None
+    if corruption is not None:
+        corruption = replace(corruption, healed=True)
+        if errors is not None:
+            errors.store_events.append(corruption)
+        reg.counter("store.self_healed").inc()
+        _log.info("store_entry_healed", path=path, entry=entry_path)
     built = StoreEntry(source=path, entry=entry_path, manifest=manifest)
     if not compatible_policy(manifest, on_error):
         # A concurrent builder won the swap race with a policy we cannot

@@ -1,0 +1,309 @@
+"""Store integrity: scrub entries, detect bit rot, upgrade old manifests.
+
+An mmap-served store is only as trustworthy as its bytes: a flipped bit
+in a ``.npy`` segment would flow straight into results with no parser in
+the path to notice.  v3 manifests therefore persist each segment's byte
+size and sha256 at build time, and this module is the verification
+surface over them:
+
+* :func:`verify_entry` — check one entry's segments against its
+  manifest: presence and size always, full sha256 re-hash with
+  ``deep=True``.  Size/presence checks catch truncation and lost files
+  cheaply; only a deep scrub catches a size-preserving flip.
+* :func:`scrub_store` — walk a whole store directory (``repro store
+  verify``): per-entry status (ok / stale / corrupt / source-missing),
+  leftover temp and quarantine directories, a JSON-ready report.
+* :func:`upgrade_entry` / :func:`load_current_manifest` — in-place
+  v2 → v3 manifest upgrade: the segment layout did not change, so an old
+  entry whose source still matches gets hashes computed from its existing
+  segments and its manifest atomically rewritten, instead of a full
+  re-parse.  The *first reader to touch* an old entry upgrades it.
+
+Quarantine-and-self-heal for entries found corrupt while serving lives in
+:mod:`repro.store.reader` (:func:`~repro.store.reader.try_serve` with
+``StoreConfig.verify``); this module only ever reads and rewrites
+manifests — segments are never modified.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..obs import metrics
+from ..obs.logging import get_logger
+from .manifest import (
+    MANIFEST_NAME,
+    PARSER_VERSION,
+    STORE_FORMAT_VERSION,
+    UPGRADEABLE_VERSIONS,
+    Manifest,
+    segment_files,
+)
+
+__all__ = [
+    "EntryIssue",
+    "EntryReport",
+    "ScrubReport",
+    "file_sha256",
+    "verify_entry",
+    "upgrade_entry",
+    "load_current_manifest",
+    "scrub_store",
+]
+
+_log = get_logger("repro.store")
+
+_HASH_CHUNK = 1 << 20  # 1 MiB reads: bounded memory at any segment size
+
+
+def file_sha256(path: str) -> str:
+    """The sha256 hex digest of a file's bytes (chunked, constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(_HASH_CHUNK)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class EntryIssue:
+    """One integrity defect found in a store entry."""
+
+    kind: str  # "segment-missing" | "segment-size" | "segment-hash"
+    #           | "segment-unhashed" | "format-version"
+    segment: Optional[str]
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def verify_entry(entry: str, manifest: Manifest, deep: bool = False) -> List[EntryIssue]:
+    """Integrity issues of one entry (empty list = clean).
+
+    The default pass checks every expected segment exists with its
+    recorded byte size; ``deep`` additionally re-hashes each segment and
+    compares sha256.  A pre-v3 manifest that was never upgraded reports
+    ``segment-unhashed`` per segment under ``deep`` (nothing to compare
+    against) — not silently "clean".
+    """
+    issues: List[EntryIssue] = []
+    for name in segment_files(manifest):
+        path = os.path.join(entry, name)
+        if not os.path.isfile(path):
+            issues.append(EntryIssue("segment-missing", name, f"{name} does not exist"))
+            continue
+        expected_size = manifest.column_bytes.get(name)
+        actual_size = os.path.getsize(path)
+        if expected_size is not None and actual_size != expected_size:
+            issues.append(
+                EntryIssue(
+                    "segment-size", name,
+                    f"{name} is {actual_size} bytes, manifest says {expected_size}",
+                )
+            )
+            continue
+        if not deep:
+            continue
+        expected_hash = manifest.column_hashes.get(name)
+        if expected_hash is None:
+            issues.append(
+                EntryIssue(
+                    "segment-unhashed", name,
+                    f"{name} has no recorded sha256 (pre-v3 entry; re-ingest or serve "
+                    f"once to upgrade)",
+                )
+            )
+            continue
+        actual_hash = file_sha256(path)
+        if actual_hash != expected_hash:
+            issues.append(
+                EntryIssue(
+                    "segment-hash", name,
+                    f"{name} sha256 {actual_hash[:12]}… != manifest {expected_hash[:12]}…",
+                )
+            )
+    return issues
+
+
+def upgrade_entry(entry: str, manifest: Manifest, path: str) -> Optional[Manifest]:
+    """Upgrade a v2 entry's manifest to v3 in place; None when not possible.
+
+    Safe only when the segment layout is unchanged
+    (:data:`~repro.store.manifest.UPGRADEABLE_VERSIONS`), the manifest
+    carries the full v2 shape (zone maps included), the parser version
+    matches, and the source file still matches its stamp — then
+    the existing segments are exactly what a v3 build would have written,
+    so hashing them *is* the v3 manifest.  The rewrite is atomic
+    (temp + ``os.replace``); an :class:`OSError` (read-only store, disk
+    full) logs a warning and leaves the entry untouched.
+    """
+    if manifest.store_format_version not in UPGRADEABLE_VERSIONS:
+        return None
+    if manifest.parser_version != PARSER_VERSION or not manifest.source_fresh(path):
+        return None
+    if manifest.zones is None:
+        # Not actually the v2 shape (zone maps arrived with v2): hashing
+        # segments cannot conjure the missing planner metadata — rebuild.
+        return None
+    try:
+        for name in segment_files(manifest):
+            segment = os.path.join(entry, name)
+            manifest.column_bytes[name] = os.path.getsize(segment)
+            manifest.column_hashes[name] = file_sha256(segment)
+        manifest.store_format_version = STORE_FORMAT_VERSION
+        manifest_path = os.path.join(entry, MANIFEST_NAME)
+        tmp = f"{manifest_path}.tmp-{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(manifest.to_json() + "\n")
+        os.replace(tmp, manifest_path)
+    except OSError as exc:
+        _log.warning("store_entry_upgrade_failed", entry=entry, error=repr(exc))
+        return None
+    metrics.counter("store.entries_upgraded").inc()
+    _log.info("store_entry_upgraded", entry=entry, to_version=STORE_FORMAT_VERSION)
+    return manifest
+
+
+def load_current_manifest(entry: str, path: str) -> Optional[Manifest]:
+    """Load an entry's manifest, transparently upgrading old versions.
+
+    The single manifest-read used by the reader and the builder's reuse
+    check: a current-version manifest loads as-is; an upgradeable one is
+    rewritten to v3 first (so hashes exist before anyone trusts the
+    entry); anything else returns as loaded and fails the caller's
+    ``is_fresh`` check, forcing a rebuild.
+    """
+    manifest = Manifest.load(entry)
+    if manifest is None:
+        return None
+    if manifest.store_format_version in UPGRADEABLE_VERSIONS:
+        upgraded = upgrade_entry(entry, manifest, path)
+        if upgraded is not None:
+            return upgraded
+    return manifest
+
+
+#: Entry statuses a scrub can report.
+_STATUS_OK = "ok"
+_STATUS_STALE = "stale"
+_STATUS_CORRUPT = "corrupt"
+_STATUS_SOURCE_MISSING = "source-missing"
+
+
+@dataclass
+class EntryReport:
+    """One entry's scrub outcome."""
+
+    entry: str
+    source: str
+    status: str  # "ok" | "stale" | "corrupt" | "source-missing"
+    n_rows: int = 0
+    issues: List[EntryIssue] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entry": self.entry,
+            "source": self.source,
+            "status": self.status,
+            "n_rows": self.n_rows,
+            "issues": [issue.to_dict() for issue in self.issues],
+        }
+
+
+@dataclass
+class ScrubReport:
+    """Whole-store scrub outcome (the ``repro store verify`` payload)."""
+
+    store_dir: str
+    deep: bool
+    entries: List[EntryReport] = field(default_factory=list)
+    #: in-flight or abandoned ``.tmp-<pid>`` build directories (not errors).
+    tmp_dirs: List[str] = field(default_factory=list)
+    #: ``.corrupt-<pid>`` directories left by serve-time quarantine.
+    quarantined: List[str] = field(default_factory=list)
+    #: directories that hold no readable manifest at all.
+    unreadable: List[str] = field(default_factory=list)
+
+    @property
+    def corrupt(self) -> List[EntryReport]:
+        return [e for e in self.entries if e.status == _STATUS_CORRUPT]
+
+    @property
+    def ok(self) -> bool:
+        """True when no entry is corrupt (stale/missing-source are benign)."""
+        return not self.corrupt and not self.unreadable
+
+    def to_dict(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for report in self.entries:
+            counts[report.status] = counts.get(report.status, 0) + 1
+        return {
+            "store_dir": self.store_dir,
+            "deep": self.deep,
+            "ok": self.ok,
+            "status_counts": counts,
+            "entries": [e.to_dict() for e in self.entries],
+            "tmp_dirs": self.tmp_dirs,
+            "quarantined": self.quarantined,
+            "unreadable": self.unreadable,
+        }
+
+
+def scrub_store(store_dir: str, deep: bool = False) -> ScrubReport:
+    """Verify every entry of a store directory (``repro store verify``).
+
+    Walks the directory in sorted order for a deterministic report.  An
+    entry is ``corrupt`` when any segment fails :func:`verify_entry`;
+    ``stale`` when its manifest no longer speaks for the source (old
+    version/parser or changed stamp — it would be rebuilt on first use,
+    so its segments are not scrubbed); ``source-missing`` when the
+    source text file is gone (the entry still serves nothing and cannot
+    self-heal).  Upgradeable manifests are upgraded as a side effect,
+    exactly like a serve would.
+    """
+    if not os.path.isdir(store_dir):
+        raise FileNotFoundError(f"store directory does not exist: {store_dir!r}")
+    report = ScrubReport(store_dir=store_dir, deep=deep)
+    for name in sorted(os.listdir(store_dir)):
+        child = os.path.join(store_dir, name)
+        if not os.path.isdir(child):
+            continue
+        if ".tmp-" in name:
+            report.tmp_dirs.append(child)
+            continue
+        if ".corrupt-" in name:
+            report.quarantined.append(child)
+            continue
+        manifest = Manifest.load(child)
+        if manifest is None:
+            report.unreadable.append(child)
+            continue
+        source = manifest.source.path
+        if not os.path.isfile(source):
+            report.entries.append(
+                EntryReport(child, source, _STATUS_SOURCE_MISSING, manifest.n_rows)
+            )
+            continue
+        current = load_current_manifest(child, source) or manifest
+        if not current.is_fresh(source):
+            report.entries.append(EntryReport(child, source, _STATUS_STALE, current.n_rows))
+            continue
+        issues = verify_entry(child, current, deep=deep)
+        status = _STATUS_CORRUPT if issues else _STATUS_OK
+        report.entries.append(EntryReport(child, source, status, current.n_rows, issues))
+        metrics.counter("store.entries_scrubbed").inc()
+        if issues:
+            metrics.counter("store.corrupt_entries").inc()
+            _log.warning(
+                "store_entry_corrupt",
+                entry=child,
+                issues=[issue.detail for issue in issues],
+            )
+    return report

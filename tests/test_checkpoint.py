@@ -1,0 +1,367 @@
+"""Durable runs: checkpoint/resume parity, refusal, degradation, signals.
+
+The checkpoint contract has three legs, and each gets its own drill
+here: resumed output is **bit-identical** to an uninterrupted run at any
+worker count; a resume against a *changed* config or unit list is
+**refused** rather than folding stale state; and the checkpoint itself
+**never kills the run it protects** — a full disk degrades to a warning.
+The subprocess drills (SIGKILL mid-run, graceful SIGTERM) mirror what CI
+runs in the chaos-smoke job.
+"""
+
+import errno
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.cli import main
+from repro.obs import collecting
+from repro.resilience import (
+    CheckpointConfig,
+    CheckpointError,
+    Checkpointer,
+    RunInterrupted,
+    graceful_interrupts,
+)
+from repro.resilience.checkpoint import CHECKPOINT_SCHEMA_VERSION, RUN_FILE
+from repro.synth import Scale, make_alicloud_fleet
+from repro.trace import write_dataset_dir
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    os.environ.pop(faults.ENV_VAR, None)
+    faults._reset_for_tests()
+    yield
+    os.environ.pop(faults.ENV_VAR, None)
+    faults._reset_for_tests()
+
+
+@pytest.fixture()
+def ali_dir(tmp_path):
+    fleet = make_alicloud_fleet(n_volumes=6, seed=3, scale=Scale(n_days=2, day_seconds=30.0))
+    directory = str(tmp_path / "ali")
+    write_dataset_dir(fleet, directory, fmt="alicloud")
+    return directory
+
+
+def _config(tmp_path, digest="abcdef123456", resume=False):
+    return CheckpointConfig(digest=digest, dir=str(tmp_path / "ck"), resume=resume)
+
+
+class TestCheckpointer:
+    UNITS = ["/data/a.csv", "/data/b.csv", "/data/c.csv"]
+
+    def test_fresh_begin_then_resume_round_trip(self, tmp_path):
+        ck = Checkpointer(_config(tmp_path), self.UNITS)
+        assert ck.begin() == {}
+        manifest = json.loads((tmp_path / "ck" / "abcdef123456" / RUN_FILE).read_text())
+        assert manifest["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+        assert manifest["units"] == self.UNITS
+        ck.save(0, {"rows": 10}, {"counters": {"plan.pruned": 1}})
+        ck.save(2, {"rows": 30}, None)
+        resumed = Checkpointer(_config(tmp_path, resume=True), self.UNITS).begin()
+        assert resumed == {
+            0: ({"rows": 10}, {"counters": {"plan.pruned": 1}}),
+            2: ({"rows": 30}, None),
+        }
+
+    def test_fresh_begin_wipes_prior_state(self, tmp_path):
+        ck = Checkpointer(_config(tmp_path), self.UNITS)
+        ck.begin()
+        ck.save(1, "old", None)
+        ck2 = Checkpointer(_config(tmp_path), self.UNITS)
+        assert ck2.begin() == {}
+        assert Checkpointer(_config(tmp_path, resume=True), self.UNITS).begin() == {}
+
+    def test_save_is_idempotent_and_leaves_no_temp_files(self, tmp_path):
+        ck = Checkpointer(_config(tmp_path), self.UNITS)
+        ck.begin()
+        ck.save(1, "v", None)
+        ck.save(1, "other", None)  # second save of the same unit is a no-op
+        names = sorted(os.listdir(ck.directory))
+        assert names == [RUN_FILE, "unit-00001.pkl"]
+        with open(os.path.join(ck.directory, "unit-00001.pkl"), "rb") as fh:
+            assert pickle.load(fh)["value"] == "v"
+
+    def test_resume_refused_without_checkpoint(self, tmp_path):
+        ck = Checkpointer(_config(tmp_path, resume=True), self.UNITS)
+        with pytest.raises(CheckpointError, match="no checkpoint for config digest"):
+            ck.begin()
+
+    def test_resume_refused_when_unit_list_changed(self, tmp_path):
+        Checkpointer(_config(tmp_path), self.UNITS).begin()
+        other_units = self.UNITS + ["/data/d.csv"]
+        ck = Checkpointer(_config(tmp_path, resume=True), other_units)
+        with pytest.raises(CheckpointError, match="unit list does not match"):
+            ck.begin()
+
+    def test_resume_refused_on_foreign_schema_version(self, tmp_path):
+        ck = Checkpointer(_config(tmp_path), self.UNITS)
+        ck.begin()
+        run_file = os.path.join(ck.directory, RUN_FILE)
+        manifest = json.loads(open(run_file).read())
+        manifest["schema_version"] = 999
+        with open(run_file, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(CheckpointError, match="schema_version 999"):
+            Checkpointer(_config(tmp_path, resume=True), self.UNITS).begin()
+
+    def test_unreadable_unit_file_is_skipped_not_fatal(self, tmp_path):
+        ck = Checkpointer(_config(tmp_path), self.UNITS)
+        ck.begin()
+        ck.save(0, "good", None)
+        with open(os.path.join(ck.directory, "unit-00001.pkl"), "wb") as fh:
+            fh.write(b"not a pickle")
+        resumed = Checkpointer(_config(tmp_path, resume=True), self.UNITS).begin()
+        assert resumed == {0: ("good", None)}  # unit 1 will simply re-run
+
+    def test_full_disk_degrades_to_warning_not_crash(self, tmp_path, monkeypatch):
+        ck = Checkpointer(_config(tmp_path), self.UNITS)
+        ck.begin()
+
+        def enospc(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        with collecting() as registry:
+            monkeypatch.setattr("repro.resilience.checkpoint.os.replace", enospc)
+            ck.save(0, "v", None)  # must not raise
+            monkeypatch.undo()
+            ck.save(1, "w", None)  # checkpointing is disabled for the rest
+        report = registry.report()
+        assert report["counters"]["checkpoint.write_errors"] == 1
+        names = [n for n in os.listdir(ck.directory) if n != RUN_FILE]
+        assert names == []  # no unit file, and no .tmp- litter either
+
+    def test_clear_removes_directory(self, tmp_path):
+        ck = Checkpointer(_config(tmp_path), self.UNITS)
+        ck.begin()
+        ck.save(0, "v", None)
+        ck.clear()
+        assert not os.path.isdir(ck.directory)
+
+
+class TestGracefulInterrupts:
+    def test_sigint_becomes_run_interrupted(self):
+        before = signal.getsignal(signal.SIGINT)
+        with pytest.raises(RunInterrupted) as exc_info:
+            with graceful_interrupts():
+                os.kill(os.getpid(), signal.SIGINT)
+                time.sleep(5)  # pragma: no cover - the signal interrupts the sleep
+        assert exc_info.value.signum == signal.SIGINT
+        assert exc_info.value.signame == "SIGINT"
+        assert signal.getsignal(signal.SIGINT) is before  # handler restored
+
+    def test_run_interrupted_is_not_an_exception(self):
+        # The engine retries units on Exception; an operator's Ctrl-C must
+        # never be mistaken for one more unit failure.
+        assert not isinstance(RunInterrupted(signal.SIGTERM), Exception)
+
+
+class TestResumeBitIdentity:
+    """Interrupt a checkpointed CLI run, resume it, compare bytes."""
+
+    def _baseline(self, ali_dir, tmp_path):
+        out = tmp_path / "baseline.json"
+        assert main(["stream-analyze", ali_dir, "--output", str(out)]) == 0
+        return out.read_text()
+
+    @pytest.mark.parametrize("resume_workers", ["1", "4"])
+    def test_failed_units_rerun_on_resume(self, ali_dir, tmp_path, resume_workers):
+        baseline = self._baseline(ali_dir, tmp_path)
+        ck_dir = str(tmp_path / "ck")
+        plan = tmp_path / "plan.json"
+        faults.save_plan(
+            faults.FaultPlan(crash_units=(2,), crash_attempts=99), str(plan)
+        )
+        degraded = tmp_path / "degraded.json"
+        rc = main([
+            "stream-analyze", ali_dir,
+            "--checkpoint", "--checkpoint-dir", ck_dir,
+            "--faults", str(plan),
+            "--on-error", "skip",
+            "--output", str(degraded),
+        ])
+        assert rc == 0
+        assert degraded.read_text() != baseline  # unit 2 is missing
+        digests = os.listdir(ck_dir)
+        assert len(digests) == 1  # kept: a unit failed, a resume can retry it
+        saved = sorted(os.listdir(os.path.join(ck_dir, digests[0])))
+        assert "unit-00002.pkl" not in saved
+        assert len(saved) == 6  # run.json + the five completed units
+
+        os.environ.pop(faults.ENV_VAR, None)
+        faults._reset_for_tests()
+        resumed = tmp_path / "resumed.json"
+        metrics_out = tmp_path / "metrics.json"
+        rc = main([
+            "stream-analyze", ali_dir,
+            "--resume", "--checkpoint-dir", ck_dir,
+            "--on-error", "skip",  # the parse policy is part of the digest
+            "--workers", resume_workers,
+            "--metrics-out", str(metrics_out),
+            "--output", str(resumed),
+        ])
+        assert rc == 0
+        assert resumed.read_text() == baseline
+        counters = json.loads(metrics_out.read_text())["counters"]
+        assert counters["checkpoint.units_resumed"] == 5
+        assert os.listdir(ck_dir) == []  # cleared after the clean finish
+
+    def test_resume_with_changed_config_exits_2(self, ali_dir, tmp_path):
+        ck_dir = str(tmp_path / "ck")
+        plan = tmp_path / "plan.json"
+        faults.save_plan(
+            faults.FaultPlan(crash_units=(1,), crash_attempts=99), str(plan)
+        )
+        assert main([
+            "stream-analyze", ali_dir,
+            "--checkpoint", "--checkpoint-dir", ck_dir,
+            "--faults", str(plan), "--on-error", "skip",
+            "--output", str(tmp_path / "a.json"),
+        ]) == 0
+        os.environ.pop(faults.ENV_VAR, None)
+        faults._reset_for_tests()
+        # A different block size is a different analysis: digest differs,
+        # there is no checkpoint under it, the resume is refused.
+        rc = main([
+            "stream-analyze", ali_dir,
+            "--resume", "--checkpoint-dir", ck_dir,
+            "--on-error", "skip",
+            "--block-size", "512",
+            "--output", str(tmp_path / "b.json"),
+        ])
+        assert rc == 2
+
+    def test_resume_digest_ignores_workers_and_faults(self, ali_dir, tmp_path):
+        from repro.cli import _checkpoint_config, build_parser
+
+        parser = build_parser()
+        base = parser.parse_args(["stream-analyze", ali_dir, "--checkpoint"])
+        varied = parser.parse_args([
+            "stream-analyze", ali_dir, "--resume", "--workers", "8",
+            "--faults", "plan.json", "--max-retries", "3", "--verify-store",
+        ])
+        changed = parser.parse_args([
+            "stream-analyze", ali_dir, "--resume", "--block-size", "512",
+        ])
+        assert _checkpoint_config(base).digest == _checkpoint_config(varied).digest
+        assert _checkpoint_config(base).digest != _checkpoint_config(changed).digest
+
+
+def _cli_env(tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_LEDGER_DIR"] = str(tmp_path / "ledger")
+    return env
+
+
+class TestKillDrills:
+    """Real process-death drills: SIGKILL mid-run, graceful SIGTERM."""
+
+    def test_sigkill_then_resume_is_bit_identical(self, ali_dir, tmp_path):
+        env = _cli_env(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "stream-analyze", ali_dir,
+             "--output", str(baseline)],
+            env=env, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        ck_dir = str(tmp_path / "ck")
+        plan = tmp_path / "plan.json"
+        faults.save_plan(faults.FaultPlan(kill_parent_after_units=3), str(plan))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "stream-analyze", ali_dir,
+             "--checkpoint", "--checkpoint-dir", ck_dir,
+             "--faults", str(plan),
+             "--output", str(tmp_path / "dead.json")],
+            env=env, capture_output=True, text=True,
+        )
+        assert proc.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL)
+        digests = os.listdir(ck_dir)
+        assert len(digests) == 1
+        saved = sorted(os.listdir(os.path.join(ck_dir, digests[0])))
+        assert saved == ["run.json", "unit-00000.pkl", "unit-00001.pkl", "unit-00002.pkl"]
+
+        resumed = tmp_path / "resumed.json"
+        metrics_out = tmp_path / "metrics.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "stream-analyze", ali_dir,
+             "--resume", "--checkpoint-dir", ck_dir, "--workers", "4",
+             "--metrics-out", str(metrics_out),
+             "--output", str(resumed)],
+            env=env, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert resumed.read_text() == baseline.read_text()
+        counters = json.loads(metrics_out.read_text())["counters"]
+        assert counters["checkpoint.units_resumed"] == 3
+        assert os.listdir(ck_dir) == []
+
+    def test_sigterm_flushes_ledger_and_exits_143(self, ali_dir, tmp_path):
+        env = _cli_env(tmp_path)
+        ck_dir = tmp_path / "ck"
+        plan = tmp_path / "plan.json"
+        # Every unit past the first two is slow, so the run is still alive
+        # when the TERM lands, with at least one checkpoint on disk.
+        faults.save_plan(
+            faults.FaultPlan(slow_units=(2, 3, 4, 5), slow_seconds=2.0), str(plan)
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "stream-analyze", ali_dir,
+             "--checkpoint", "--checkpoint-dir", str(ck_dir),
+             "--faults", str(plan),
+             "--output", str(tmp_path / "out.json")],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                saved = [
+                    p for d in (ck_dir.iterdir() if ck_dir.is_dir() else [])
+                    for p in d.iterdir() if p.name.endswith(".pkl")
+                ]
+                if saved:
+                    break
+                time.sleep(0.05)
+            assert saved, "no checkpoint appeared before the deadline"
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 128 + signal.SIGTERM
+        assert "run_interrupted" in stderr
+        assert "--resume" in stderr  # the hint the operator needs
+        # The ledger record was flushed on the way out, with the real exit code.
+        records = list((tmp_path / "ledger").glob("*.json"))
+        assert records, "graceful shutdown must still append the run record"
+        exit_codes = [json.loads(r.read_text()).get("exit_code") for r in records]
+        assert 128 + signal.SIGTERM in exit_codes
+
+        baseline = tmp_path / "baseline.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "stream-analyze", ali_dir,
+             "--output", str(baseline)],
+            env=env, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        resumed = tmp_path / "resumed.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "stream-analyze", ali_dir,
+             "--resume", "--checkpoint-dir", str(ck_dir), "--workers", "2",
+             "--output", str(resumed)],
+            env=env, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert resumed.read_text() == baseline.read_text()

@@ -146,3 +146,46 @@ class TestUnitFaults:
         start = time.perf_counter()
         faults.inject_unit_fault("a.csv", 1, 1, in_worker=False)  # no match
         assert time.perf_counter() - start < 0.05
+
+
+class TestParentKill:
+    def test_round_trip_and_validation(self):
+        plan = FaultPlan(
+            kill_parent_after_units=3,
+            kill_parent_signal="term",
+            ingest_crash_files=("a.csv", "b.csv.gz"),
+            ingest_crash_kind="raise",
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        with pytest.raises(ValueError, match="kill_parent_after_units"):
+            FaultPlan(kill_parent_after_units=-1)
+        with pytest.raises(ValueError, match="kill_parent_signal"):
+            FaultPlan(kill_parent_signal="hup")
+        with pytest.raises(ValueError, match="ingest_crash_kind"):
+            FaultPlan(ingest_crash_kind="explode")
+
+    def test_inactive_and_below_threshold_are_noops(self):
+        faults.inject_parent_fault(100)  # no plan active
+        faults.activate(FaultPlan(kill_parent_after_units=5, kill_parent_signal="int"))
+        faults.inject_parent_fault(4)  # threshold not reached
+
+    def test_fires_once_at_threshold(self):
+        # SIGINT so the "kill" arrives as a KeyboardInterrupt we can catch.
+        faults.activate(FaultPlan(kill_parent_after_units=3, kill_parent_signal="int"))
+        with pytest.raises(KeyboardInterrupt):
+            faults.inject_parent_fault(3)
+        faults.inject_parent_fault(4)  # at most once per process
+
+
+class TestIngestCrash:
+    def test_raise_kind_matches_basename_only(self):
+        faults.activate(
+            FaultPlan(ingest_crash_files=("a.csv",), ingest_crash_kind="raise")
+        )
+        with pytest.raises(InjectedFault):
+            faults.inject_ingest_fault("/any/where/a.csv")
+        faults.inject_ingest_fault("/any/where/b.csv")  # no match
+        faults.inject_ingest_fault("/any/a.csv.gz")  # basename must be exact
+
+    def test_inactive_is_noop(self):
+        faults.inject_ingest_fault("/any/a.csv")

@@ -156,3 +156,19 @@ class TestAppend:
         path = ledger.append_record(record, str(tmp_path))
         with pytest.raises(ValueError, match="schema_version"):
             ledger.load_record(path)
+
+
+class TestTryAppend:
+    def test_success_returns_path(self, tmp_path):
+        record = ledger.build_record("k")
+        path = ledger.try_append_record(record, str(tmp_path))
+        assert path is not None
+        assert ledger.load_record(path)["run_id"] == record["run_id"]
+
+    def test_unwritable_ledger_degrades_to_none(self, tmp_path):
+        # A regular file where the ledger directory should be: every
+        # os.makedirs/open underneath raises, and the caller gets None
+        # instead of a crashed run.
+        blocker = tmp_path / "ledger"
+        blocker.write_text("not a directory")
+        assert ledger.try_append_record(ledger.build_record("k"), str(blocker)) is None

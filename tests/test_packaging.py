@@ -54,6 +54,7 @@ class TestPublicAPI:
             "experiments",
             "stream-analyze",
             "validate",
+            "store",
             "lint",
             "runs",
         }

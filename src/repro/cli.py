@@ -208,6 +208,17 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help=f"trace rows parsed per columnar batch (default: {DEFAULT_CHUNK_SIZE})",
     )
     parser.add_argument(
+        "--split-rows", type=int, default=0, metavar="N",
+        help="split files expected to exceed N rows into range sub-units "
+        "(store row ranges warm, line-aligned byte ranges cold) so one "
+        "giant file cannot serialize the fan-out (default: 0, off)",
+    )
+    parser.add_argument(
+        "--backend", choices=["auto", "serial", "process"], default="auto",
+        help="execution backend: auto picks the process pool exactly when "
+        "--workers > 1 and >1 unit is pending (default: auto)",
+    )
+    parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write a JSON metrics report of this run (enables span tracing)",
     )
@@ -543,6 +554,14 @@ def _resilience_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
+def _schedule_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """The engine's scheduling kwargs (``--split-rows`` / ``--backend``)."""
+    return {
+        "split_rows": getattr(args, "split_rows", 0),
+        "backend": getattr(args, "backend", None),
+    }
+
+
 def _activate_faults(args: argparse.Namespace) -> None:
     """Activate ``--faults`` (here and, via the env var, in pool workers)."""
     plan_path = getattr(args, "faults", None)
@@ -629,22 +648,29 @@ def _analyze(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size, workers=args.workers,
         progress=_progress_callback(args, "parse"),
         errors=errors, store=_store_config(args),
-        predicate=_row_predicate(args), **res,
+        predicate=_row_predicate(args), **res, **_schedule_kwargs(args),
     )
+    volumes = dataset.volumes()
+    # Big volumes profile first (LPT) so the fleet's straggler volume
+    # cannot land on the last pool slot.
+    volume_costs = [float(len(v)) for v in volumes]
+    backend = getattr(args, "backend", None)
     if res["on_error"] == ON_ERROR_STRICT:
         raw = list(
             parallel_map(
-                _profile_volume, dataset.volumes(), args.workers,
+                _profile_volume, volumes, args.workers,
                 progress=_progress_callback(args, "profile"),
                 retry=res["retry"], unit_timeout=res["unit_timeout"],
+                backend=backend, priorities=volume_costs,
                 block_size=args.block_size,
             )
         )
     else:
         maybe, errors = resilient_map(
-            _profile_volume, dataset.volumes(), args.workers,
+            _profile_volume, volumes, args.workers,
             progress=_progress_callback(args, "profile"),
             retry=res["retry"], unit_timeout=res["unit_timeout"],
+            backend=backend, priorities=volume_costs,
             errors=errors, block_size=args.block_size,
         )
         raw = [p for p in maybe if p is not None]
@@ -668,6 +694,7 @@ def _report(args: argparse.Namespace) -> int:
         progress=_progress_callback(args, "parse"),
         errors=errors, store=_store_config(args),
         predicate=_row_predicate(args), **_resilience_kwargs(args),
+        **_schedule_kwargs(args),
     )
     _emit_error_reports(args, errors)
     stats = basic_statistics(dataset, block_size=args.block_size, workers=args.workers)
@@ -700,7 +727,7 @@ def _findings(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size, workers=args.workers,
             progress=_progress_callback(args, "parse-ali"),
             errors=errors, store=_store_config(args),
-            predicate=predicate, **res,
+            predicate=predicate, **res, **_schedule_kwargs(args),
         )
     else:
         ali = make_alicloud_fleet(n_volumes=args.volumes, seed=args.seed, scale=scale_a)
@@ -710,7 +737,7 @@ def _findings(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size, workers=args.workers,
             progress=_progress_callback(args, "parse-msrc"),
             errors=errors, store=_store_config(args),
-            predicate=predicate, **res,
+            predicate=predicate, **res, **_schedule_kwargs(args),
         )
     else:
         msrc = make_msrc_fleet(n_volumes=36, seed=args.seed + 1, scale=scale_m)
@@ -753,10 +780,15 @@ def _experiments(args: argparse.Namespace) -> int:
 
 #: args that never change a run's *results*, so they must not change the
 #: checkpoint digest — otherwise resuming with ``--workers 4`` (or after
-#: turning a fault plan off) would be refused for no reason.
+#: turning a fault plan off) would be refused for no reason.  ``backend``
+#: qualifies (execution strategy only); ``split_rows`` does NOT — it
+#: changes the unit list (and the merge tree of capacity-bounded
+#: sketches), so it stays in the digest and a resume must use the same
+#: value.
 _CHECKPOINT_IRRELEVANT_ARGS = frozenset(
     {
         "workers",
+        "backend",
         "checkpoint",
         "resume",
         "checkpoint_dir",
@@ -825,6 +857,7 @@ def _stream_analyze(args: argparse.Namespace) -> int:
             predicate=_row_predicate(args),
             checkpoint=checkpoint,
             **_resilience_kwargs(args),
+            **_schedule_kwargs(args),
         )
     _emit_error_reports(args, result.errors)
     profiles = result.analyzer("streaming_profile")

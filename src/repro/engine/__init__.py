@@ -15,8 +15,14 @@ One shared execution substrate for every trace analysis:
   :class:`QueryPlan` prunes columns and pushes filters down the data
   path (zone-map chunk skipping on a warm store), with results
   bit-identical to filtering after the fact.
+* :mod:`~repro.engine.units` — cost-aware work units: big files split
+  into row/byte range sub-units so one straggler file cannot serialize a
+  parallel run; every unit carries an LPT dispatch cost estimate.
+* :mod:`~repro.engine.backends` — pluggable execution
+  (:class:`ExecutionBackend`): a serial in-process loop or the default
+  process pool, selected per run (``backend="serial"|"process"|"auto"``).
 * :mod:`~repro.engine.runner` — the driver: many analyzers in one pass
-  per volume, volumes/files fanned out across a process pool with
+  per volume, volumes/files/sub-units fanned out across a backend with
   deterministic merge order.
 
 Quickstart::
@@ -28,6 +34,13 @@ Quickstart::
 """
 
 from .analyzer import Analyzer, reservoir_percentiles, volume_seed
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from .analyzers import (
     DEFAULT_RESERVOIR_SIZE,
     LoadIntensityAnalyzer,
@@ -65,11 +78,21 @@ from .runner import (
     run_dataset,
     run_files,
 )
+from .units import SplitServeError, WorkUnit, plan_units, unit_chunks
 
 __all__ = [
     "Analyzer",
     "reservoir_percentiles",
     "volume_seed",
+    "BACKENDS",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "resolve_backend",
+    "SplitServeError",
+    "WorkUnit",
+    "plan_units",
+    "unit_chunks",
     "DEFAULT_RESERVOIR_SIZE",
     "LoadIntensityAnalyzer",
     "LoadIntensityResult",

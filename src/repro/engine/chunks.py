@@ -510,11 +510,31 @@ def _split_by_volume(columns) -> Iterator[Chunk]:
         )
 
 
+def _open_byte_range(path: str, lo: int, hi: int):
+    """A text stream over bytes ``[lo, hi)`` of an uncompressed trace file.
+
+    The range bytes are read in one pass and wrapped in a
+    ``TextIOWrapper`` with the same utf-8 + universal-newline semantics
+    as :func:`~repro.trace.reader.open_trace_file`, so a line-aligned
+    range decodes to exactly the lines a whole-file read would yield
+    there.  Ranges are planned at ``split_rows`` granularity (a few MB),
+    so one materialized buffer per unit is cheap.
+    """
+    import io
+
+    with open(path, "rb") as raw:
+        raw.seek(lo)
+        data = raw.read(max(0, hi - lo))
+    return io.TextIOWrapper(io.BytesIO(data), encoding="utf-8")
+
+
 def _iter_line_batches(
     path: str,
     chunk_size: int,
     skip_header: bool,
     corrupt: Optional[Callable[[int, str], str]] = None,
+    byte_range: Optional[Tuple[int, int]] = None,
+    start_lineno: int = 1,
 ):
     """Yield ``(lines, linenos)`` batches, skipping blanks and the header.
 
@@ -523,11 +543,22 @@ def _iter_line_batches(
     fault-injection hook (:func:`repro.faults.line_corruptor`), applied to
     data lines only so injected corruption hits the parsers, not the
     header/blank handling.
+
+    With ``byte_range`` set, only that line-aligned byte slice of the
+    file is read (the engine's cold split sub-units); ``start_lineno``
+    is the physical line number of the range's first line, so line
+    numbering — and with it header detection, fault injection, and error
+    messages — is identical to the whole-file pass over the same lines.
     """
-    with open_trace_file(path) as fh:
+    opened = (
+        open_trace_file(path)
+        if byte_range is None
+        else _open_byte_range(path, byte_range[0], byte_range[1])
+    )
+    with opened as fh:
         lines: List[str] = []
         linenos: List[int] = []
-        for lineno, line in enumerate(fh, start=1):
+        for lineno, line in enumerate(fh, start=start_lineno):
             if not line.strip():
                 continue
             if lineno == 1 and skip_header and _looks_like_header(line):
@@ -548,6 +579,8 @@ def _iter_batch_columns(
     skip_header: bool = True,
     on_error: str = ON_ERROR_STRICT,
     errors: Optional[ParseErrors] = None,
+    byte_range: Optional[Tuple[int, int]] = None,
+    start_lineno: int = 1,
 ) -> Iterator[Tuple]:
     """Parse one file into per-batch column tuples (pre volume-split).
 
@@ -555,7 +588,8 @@ def _iter_batch_columns(
     (:func:`repro.store.builder.build_entry`): fast-path batch parsing,
     strict row-by-row fallback, and non-strict salvage all happen here,
     so text-path chunks and store-persisted columns are produced by the
-    byte-identical machinery.
+    byte-identical machinery.  ``byte_range`` / ``start_lineno`` narrow
+    the parse to one line-aligned slice (see :func:`_iter_line_batches`).
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
@@ -570,7 +604,10 @@ def _iter_batch_columns(
     lines_total = reg.counter("parse.lines")
     bytes_total = reg.counter("parse.bytes")
     corrupt = faults.line_corruptor(path)
-    for lines, linenos in _iter_line_batches(path, chunk_size, skip_header, corrupt):
+    for lines, linenos in _iter_line_batches(
+        path, chunk_size, skip_header, corrupt,
+        byte_range=byte_range, start_lineno=start_lineno,
+    ):
         lines_total.inc(len(lines))
         bytes_total.inc(sum(map(len, lines)))
         with span("parse_batch"):
@@ -598,6 +635,8 @@ def iter_chunks(
     errors: Optional[ParseErrors] = None,
     store: Optional["StoreConfig"] = None,
     plan: Optional[QueryPlan] = None,
+    byte_range: Optional[Tuple[int, int]] = None,
+    start_lineno: int = 1,
 ) -> Iterator[Chunk]:
     """Stream per-volume :class:`Chunk` batches from one trace file.
 
@@ -626,6 +665,11 @@ def iter_chunks(
             bytes; the text path still parses everything, then prunes.
             Either way the surviving rows are identical
             (pruned-equals-filtered).
+        byte_range: optional line-aligned byte slice to parse instead of
+            the whole file (the engine's cold split sub-units); forces
+            the text path — a store entry is keyed in rows, not bytes.
+        start_lineno: physical line number of ``byte_range``'s first
+            line, keeping per-line semantics identical to a full pass.
 
     Raises:
         TraceFormatError: under ``strict`` only, for malformed lines, with
@@ -633,7 +677,7 @@ def iter_chunks(
     """
     if plan is not None and plan.is_noop():
         plan = None
-    if store is not None:
+    if store is not None and byte_range is None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         from ..store import try_serve
@@ -649,6 +693,7 @@ def iter_chunks(
     for columns in _iter_batch_columns(
         path, fmt=fmt, chunk_size=chunk_size, skip_header=skip_header,
         on_error=on_error, errors=errors,
+        byte_range=byte_range, start_lineno=start_lineno,
     ):
         for chunk in _split_by_volume(columns):
             planned = apply_plan(chunk, plan)
@@ -696,26 +741,29 @@ class _VolumeColumns:
 
 
 def _read_file_columns(
-    path: str,
+    unit: Any,
     fmt: str,
     chunk_size: int,
     on_error: str = ON_ERROR_STRICT,
     store: Optional["StoreConfig"] = None,
     plan: Optional[QueryPlan] = None,
 ) -> Tuple[Dict[str, "_VolumeColumns"], Optional[ParseErrors]]:
-    """Parse one file into per-volume column fragments (worker unit).
+    """Parse one unit into per-volume column fragments (worker unit).
 
-    Returns the fragments plus the file's dropped-line ledger (None when
-    the policy is strict or the file parsed clean).  With ``store`` set,
-    each worker serves its file from its own store mmap when possible;
-    ``store.verify`` keeps a collector alive even under ``strict`` so
-    store-integrity events are shipped back.
+    ``unit`` is a file path or a :class:`~repro.engine.units.WorkUnit`
+    sub-range of one.  Returns the fragments plus the unit's dropped-line
+    ledger (None when the policy is strict or the unit parsed clean).
+    With ``store`` set, each worker serves its unit from its own store
+    mmap when possible; ``store.verify`` keeps a collector alive even
+    under ``strict`` so store-integrity events are shipped back.
     """
+    from .units import unit_chunks
+
     verifying = store is not None and store.verify
     parse_errors = ParseErrors() if (on_error != ON_ERROR_STRICT or verifying) else None
     acc: Dict[str, _VolumeColumns] = {}
-    for chunk in iter_chunks(
-        path, fmt=fmt, chunk_size=chunk_size, on_error=on_error,
+    for chunk in unit_chunks(
+        unit, fmt=fmt, chunk_size=chunk_size, on_error=on_error,
         errors=parse_errors, store=store, plan=plan,
     ):
         cols = acc.get(chunk.volume_id)
@@ -745,6 +793,8 @@ def read_dataset_dir_chunked(
     errors: Optional[RunErrors] = None,
     store: Optional["StoreConfig"] = None,
     predicate: Optional[RowPredicate] = None,
+    split_rows: int = 0,
+    backend: Optional[Any] = None,
 ) -> TraceDataset:
     """Chunked-parse replacement for :func:`repro.trace.reader.read_dataset_dir`.
 
@@ -755,6 +805,16 @@ def read_dataset_dir_chunked(
     completion order.  Parse metrics (lines, bytes, chunks) land in the
     caller's current registry at any worker count, and
     ``progress(done, total)`` fires per completed file.
+
+    With ``split_rows > 0``, files larger than the threshold are split
+    into range sub-units (:func:`repro.engine.units.plan_units`) and all
+    units dispatched longest-first, so wall-clock tracks total rows
+    instead of the largest file.  The materialized dataset is
+    **byte-identical** to the unsplit read: workers ship raw per-volume
+    column fragments and this function concatenates them in canonical
+    (file, range) order, so every volume's arrays are the same bytes at
+    any split configuration and worker count.  ``backend`` picks the
+    execution backend (see :mod:`repro.engine.backends`).
 
     Fault tolerance mirrors :func:`repro.engine.runner.run_files`:
     ``on_error`` governs malformed lines and (non-strict) permanently
@@ -773,6 +833,7 @@ def read_dataset_dir_chunked(
     import os
 
     from .runner import parallel_map, resilient_map
+    from .units import file_cost, plan_units
 
     on_error = validate_on_error(on_error)
     plan = (
@@ -781,16 +842,26 @@ def read_dataset_dir_chunked(
         else None
     )
     files = list_trace_files(directory)
+    units: List[Any] = list(files)
+    if split_rows > 0:
+        units, priorities = plan_units(
+            files, fmt=fmt, chunk_size=chunk_size, split_rows=split_rows,
+            store=store, on_error=on_error,
+        )
+    else:
+        priorities = [file_cost(f) for f in files]
     run_errors = errors if errors is not None else RunErrors(policy=on_error)
     if on_error == ON_ERROR_STRICT:
         pairs: List[Optional[Tuple[Dict[str, _VolumeColumns], Optional[ParseErrors]]]] = list(
             parallel_map(
                 _read_file_columns,
-                files,
+                units,
                 workers,
                 progress=progress,
                 retry=retry,
                 unit_timeout=unit_timeout,
+                backend=backend,
+                priorities=priorities,
                 fmt=fmt,
                 chunk_size=chunk_size,
                 on_error=on_error,
@@ -801,12 +872,14 @@ def read_dataset_dir_chunked(
     else:
         pairs, run_errors = resilient_map(
             _read_file_columns,
-            files,
+            units,
             workers,
             progress=progress,
             retry=retry,
             unit_timeout=unit_timeout,
             errors=run_errors,
+            backend=backend,
+            priorities=priorities,
             fmt=fmt,
             chunk_size=chunk_size,
             on_error=on_error,

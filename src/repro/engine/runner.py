@@ -10,11 +10,19 @@ over a trace source in a single pass per volume:
 * **in-memory dataset** — each volume is one unit of work; its columnar
   arrays are sliced into chunks and folded the same way.
 
-With ``workers > 1`` units fan out across a
-:class:`~concurrent.futures.ProcessPoolExecutor`; partial per-volume
-states come back and are merged **in sorted unit order** (never completion
-order), so results are bit-identical across worker counts.  ``workers=1``
-falls back to a plain sequential loop with no pool or pickling overhead.
+With ``workers > 1`` units fan out across an execution backend
+(:mod:`repro.engine.backends` — a :class:`ProcessBackend` pool by
+default); partial per-volume states come back and are merged **in
+canonical unit order** (never completion or dispatch order), so results
+are bit-identical across worker counts.  ``workers=1`` falls back to the
+:class:`SerialBackend`'s plain loop with no pool or pickling overhead.
+
+Scheduling: when units carry cost estimates (``priorities``), pooled
+units are *dispatched* longest-processing-time-first so a straggler unit
+starts first instead of last; with ``split_rows > 0``,
+:func:`run_files` additionally splits big files into range sub-units
+(:mod:`repro.engine.units`) so no single file can serialize the run.
+Dispatch order is pure scheduling — the merge order never follows it.
 
 Every fan-out is observable (:mod:`repro.obs`) and fault-tolerant
 (:mod:`repro.resilience`):
@@ -54,13 +62,9 @@ re-count, so ``done`` is monotonic and ends at ``total``.
 
 from __future__ import annotations
 
-import math
-import os
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
-from time import perf_counter, sleep
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -87,23 +91,22 @@ from ..resilience import (
     ParseErrors,
     RetryPolicy,
     RunErrors,
-    UnitFailure,
-    UnitTimeoutError,
     unit_label,
     validate_on_error,
 )
 from ..trace.dataset import TraceDataset, VolumeTrace
 from .analyzer import Analyzer
+from .backends import BackendSpec, MapState, UnitOut, resolve_backend
 from .chunks import (
     DEFAULT_CHUNK_SIZE,
     Chunk,
     apply_plan,
     apply_predicate,
     chunks_from_trace,
-    iter_chunks,
     list_trace_files,
 )
 from .plan import QueryPlan, RowPredicate, analyzer_predicate, plan_for
+from .units import WorkUnit, checkpoint_key, file_cost, plan_units, unit_chunks
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.store imports the engine
     from ..store import StoreConfig
@@ -123,271 +126,12 @@ R = TypeVar("R")
 #: analyzer index -> volume id -> accumulated state
 _StateMap = Dict[int, Dict[str, Any]]
 
-#: unit result as it travels back from execution: (value, metrics
-#: snapshot, timeline events); snapshot and events are None for units
-#: that ran in-process (their metrics and events record directly into
-#: the caller's registry/buffer) and events is None when timeline
-#: recording is off.
-_UnitOut = Tuple[Any, Optional[Dict[str, Any]], Optional[List[timeline.Event]]]
-
-
-def _instrumented_unit(
-    bound: Callable[..., Any],
-    item: Any,
-    label: str,
-    index: int,
-    attempt: int,
-    in_worker: bool = True,
-) -> _UnitOut:
-    """Run one unit in its own registry; return ``(result, snapshot, events)``.
-
-    The fresh registry (and timeline buffer) means fork-inherited parent
-    state never leaks into a worker's snapshot.  Fault injection (when a
-    plan is active) fires inside the registry so injected-fault counters
-    ship back too.  Timeline events from an attempt that raises are lost
-    with the attempt — only completed attempts ship events.
-
-    ``in_worker=False`` runs the same capture in the parent process — the
-    checkpointed sequential path uses it so every completed unit yields a
-    self-contained snapshot that can be persisted and replayed on resume.
-    """
-    with metrics.collecting() as reg, timeline.collecting() as buf:
-        with timeline.unit(label, index):
-            start = perf_counter()
-            faults.inject_unit_fault(label, index, attempt, in_worker=in_worker)
-            out = bound(item)
-            end = perf_counter()
-            reg.histogram("engine.unit_seconds").observe(end - start)
-            timeline.record("unit", start, end)
-    return out, reg.snapshot(), (buf.events or None)
-
 
 def _record_fanout(reg: metrics.MetricsRegistry, busy: float, wall: float, workers: int) -> None:
     reg.counter("engine.fanouts").inc()
     reg.gauge("engine.wall_seconds").set(wall)
     if wall > 0 and workers > 0:
         reg.gauge("engine.utilization").set(busy / (workers * wall))
-
-
-def _fail_or_retry(
-    i: int,
-    kind: str,
-    error_text: str,
-    labels: Sequence[str],
-    attempts: List[int],
-    allowance: List[int],
-    retry: Optional[RetryPolicy],
-    errors: RunErrors,
-    reg: metrics.MetricsRegistry,
-) -> bool:
-    """Account one failed attempt; True when the unit failed permanently.
-
-    When budget remains, the (deterministic, capped) backoff is slept
-    here and False returned — the caller re-submits or re-runs the unit.
-    """
-    if attempts[i] < allowance[i]:
-        errors.retries += 1
-        reg.counter("engine.retries").inc()
-        if retry is not None:
-            delay = retry.backoff(attempts[i])
-            if delay > 0.0:
-                sleep(delay)
-        return False
-    errors.failed_units.append(UnitFailure(labels[i], i, kind, error_text, attempts[i]))
-    reg.counter("engine.units_failed").inc()
-    return True
-
-
-def _run_inprocess(
-    bound: Callable[..., Any],
-    items: Sequence[Any],
-    indices: Iterable[int],
-    labels: Sequence[str],
-    attempts: List[int],
-    allowance: List[int],
-    retry: Optional[RetryPolicy],
-    errors: RunErrors,
-    outs: List[Optional[_UnitOut]],
-    fail_fast: bool,
-    reg: metrics.MetricsRegistry,
-    note_done: Callable[[int], None],
-    capture: bool = False,
-) -> float:
-    """Run ``indices`` in-process with the retry loop; returns busy time.
-
-    Serves both the sequential (``workers <= 1``) path and in-process
-    recovery after a broken pool.  Metrics record directly into the
-    caller's registry, so ``outs`` entries carry no snapshot — except
-    with ``capture`` set (checkpointed runs), where each unit executes
-    under its own registry exactly like a pooled worker so its snapshot
-    can be persisted; the caller merges snapshots afterwards, keeping
-    counter totals identical either way.
-    """
-    unit_seconds = reg.histogram("engine.unit_seconds")
-    busy = 0.0
-    for i in indices:
-        if capture:
-            while True:
-                attempts[i] += 1
-                try:
-                    outs[i] = _instrumented_unit(
-                        bound, items[i], labels[i], i, attempts[i], in_worker=False
-                    )
-                except Exception as exc:
-                    if fail_fast and attempts[i] >= allowance[i]:
-                        raise
-                    if _fail_or_retry(
-                        i, "exception", repr(exc), labels, attempts, allowance, retry, errors, reg
-                    ):
-                        note_done(i)
-                        break
-                    continue
-                note_done(i)
-                break
-            continue
-        with timeline.unit(labels[i], i):
-            while True:
-                attempts[i] += 1
-                t0 = perf_counter()
-                try:
-                    faults.inject_unit_fault(labels[i], i, attempts[i], in_worker=False)
-                    value = bound(items[i])
-                except Exception as exc:
-                    busy += perf_counter() - t0
-                    if fail_fast and attempts[i] >= allowance[i]:
-                        raise
-                    if _fail_or_retry(
-                        i, "exception", repr(exc), labels, attempts, allowance, retry, errors, reg
-                    ):
-                        note_done(i)
-                        break
-                    continue
-                elapsed = perf_counter() - t0
-                busy += elapsed
-                unit_seconds.observe(elapsed)
-                timeline.record("unit", t0, t0 + elapsed)
-                outs[i] = (value, None, None)
-                note_done(i)
-                break
-    return busy
-
-
-def _terminate_workers(pool: ProcessPoolExecutor) -> None:
-    """Forcefully end worker processes abandoned behind a stuck unit."""
-    processes = getattr(pool, "_processes", None) or {}
-    for proc in list(processes.values()):
-        proc.terminate()
-
-
-def _run_pooled(
-    bound: Callable[..., Any],
-    items: Sequence[Any],
-    labels: Sequence[str],
-    attempts: List[int],
-    allowance: List[int],
-    retry: Optional[RetryPolicy],
-    unit_timeout: Optional[float],
-    errors: RunErrors,
-    outs: List[Optional[_UnitOut]],
-    fail_fast: bool,
-    reg: metrics.MetricsRegistry,
-    workers: int,
-    note_done: Callable[[int], None],
-    pending: Sequence[int],
-) -> float:
-    """Fan ``pending`` units out across a process pool with retries/timeouts."""
-    busy = 0.0
-    terminal_failed: Set[int] = set()
-    info: Dict["Future[_UnitOut]", Tuple[int, float]] = {}
-    abandoned = False
-    pool = ProcessPoolExecutor(max_workers=workers)
-
-    def submit(i: int) -> None:
-        fut = pool.submit(_instrumented_unit, bound, items[i], labels[i], i, attempts[i] + 1)
-        attempts[i] += 1
-        deadline = perf_counter() + unit_timeout if unit_timeout is not None else math.inf
-        info[fut] = (i, deadline)
-
-    try:
-        try:
-            for i in pending:
-                submit(i)
-            while info:
-                timeout: Optional[float] = None
-                if unit_timeout is not None:
-                    timeout = max(0.0, min(dl for _, dl in info.values()) - perf_counter())
-                finished, _ = wait(set(info), timeout=timeout, return_when=FIRST_COMPLETED)
-                if not finished:
-                    now = perf_counter()
-                    expired = [f for f, (_, dl) in info.items() if dl <= now + 1e-6]
-                    for fut in expired:
-                        i, _ = info.pop(fut)
-                        fut.cancel()
-                        abandoned = True
-                        errors.timeouts += 1
-                        reg.counter("engine.unit_timeouts").inc()
-                        message = (
-                            f"unit {labels[i]!r} exceeded unit_timeout="
-                            f"{unit_timeout:g}s (attempt {attempts[i]})"
-                        )
-                        if _fail_or_retry(
-                            i, "timeout", message, labels, attempts, allowance,
-                            retry, errors, reg,
-                        ):
-                            terminal_failed.add(i)
-                            if fail_fast:
-                                raise UnitTimeoutError(message)
-                            note_done(i)
-                        else:
-                            submit(i)
-                    continue
-                broken = False
-                for fut in finished:
-                    i, _ = info.pop(fut)
-                    try:
-                        outs[i] = fut.result()
-                    except BrokenProcessPool:
-                        broken = True
-                    except Exception as exc:
-                        if _fail_or_retry(
-                            i, "exception", repr(exc), labels, attempts, allowance,
-                            retry, errors, reg,
-                        ):
-                            terminal_failed.add(i)
-                            if fail_fast:
-                                raise
-                            note_done(i)
-                        else:
-                            submit(i)
-                    else:
-                        note_done(i)
-                if broken:
-                    raise BrokenProcessPool("a worker process died unexpectedly")
-        except BrokenProcessPool:
-            # The pool is unusable; every interrupted unit is re-executed
-            # in-process, with one replacement attempt free of the retry
-            # budget (the attempt that died never ran to completion).
-            errors.pool_breaks += 1
-            reg.counter("engine.pool_breaks").inc()
-            info.clear()
-            interrupted = [
-                i for i in pending if outs[i] is None and i not in terminal_failed
-            ]
-            for i in interrupted:
-                allowance[i] += 1
-            with span("engine.recover_inprocess"):
-                busy += _run_inprocess(
-                    bound, items, interrupted, labels, attempts, allowance,
-                    retry, errors, outs, fail_fast, reg, note_done,
-                )
-    finally:
-        if abandoned:
-            # A stuck worker would make a waiting shutdown hang forever.
-            pool.shutdown(wait=False, cancel_futures=True)
-            _terminate_workers(pool)
-        else:
-            pool.shutdown(wait=True, cancel_futures=True)
-    return busy
 
 
 def _map_core(
@@ -401,6 +145,8 @@ def _map_core(
     errors: RunErrors,
     kwargs: Dict[str, Any],
     checkpoint: Optional[Checkpointer] = None,
+    backend: BackendSpec = None,
+    priorities: Optional[Sequence[float]] = None,
 ) -> List[Optional[Any]]:
     """Shared execution core of :func:`parallel_map` / :func:`resilient_map`.
 
@@ -410,6 +156,12 @@ def _map_core(
     bit-identical: ``outs`` keeps submission order regardless of which
     units ran live, and resumed snapshots merge exactly like shipped-back
     worker snapshots.
+
+    With ``priorities`` set (one cost estimate per item), a parallel
+    backend *dispatches* pending units longest-processing-time-first — a
+    pure scheduling decision: ``outs`` indexing, checkpoints, progress,
+    and the merge all keep canonical item order, and serial execution
+    runs in canonical order outright.
     """
     bound = partial(fn, **kwargs) if kwargs else fn
     items = list(items)
@@ -418,10 +170,8 @@ def _map_core(
         return []
     reg = metrics.get_registry()
     start = perf_counter()
-    outs: List[Optional[_UnitOut]] = [None] * n
+    outs: List[Optional[UnitOut]] = [None] * n
     labels = [unit_label(item) for item in items]
-    attempts = [0] * n
-    allowance = [retry.max_attempts if retry is not None else 1] * n
     done = 0
 
     def note_done(i: int) -> None:
@@ -442,17 +192,26 @@ def _map_core(
             note_done(i)
         pending = [i for i in range(n) if i not in resumed]
 
-    pooled = workers > 1 and len(pending) > 1
-    if pooled:
-        busy = _run_pooled(
-            bound, items, labels, attempts, allowance, retry, unit_timeout,
-            errors, outs, fail_fast, reg, workers, note_done, pending,
-        )
-    else:
-        busy = _run_inprocess(
-            bound, items, pending, labels, attempts, allowance, retry,
-            errors, outs, fail_fast, reg, note_done, capture=checkpoint is not None,
-        )
+    state = MapState(
+        bound=bound,
+        items=items,
+        labels=labels,
+        attempts=[0] * n,
+        allowance=[retry.max_attempts if retry is not None else 1] * n,
+        retry=retry,
+        unit_timeout=unit_timeout,
+        errors=errors,
+        outs=outs,
+        fail_fast=fail_fast,
+        reg=reg,
+        note_done=note_done,
+        pending=pending,
+        workers=workers,
+        capture=checkpoint is not None,
+        priorities=priorities,
+    )
+    be = resolve_backend(backend, workers, len(pending))
+    busy = be.execute(state)
     results: List[Optional[Any]] = []
     tl = timeline.get_timeline()
     for out in outs:
@@ -469,7 +228,7 @@ def _map_core(
             # order no matter which worker finished first.
             tl.extend(events)
         results.append(value)
-    _record_fanout(reg, busy, perf_counter() - start, workers if pooled else 1)
+    _record_fanout(reg, busy, perf_counter() - start, be.effective_workers(state))
     return results
 
 
@@ -480,14 +239,20 @@ def parallel_map(
     progress: Optional[Callable[[int, int], None]] = None,
     retry: Optional[RetryPolicy] = None,
     unit_timeout: Optional[float] = None,
+    backend: BackendSpec = None,
+    priorities: Optional[Sequence[float]] = None,
     **kwargs: Any,
 ) -> List[R]:
     """Map ``fn`` over ``items``, preserving order; fail-fast on errors.
 
     ``workers <= 1`` runs sequentially in-process; otherwise items fan out
-    across a process pool (``fn`` must be picklable, i.e. module-level).
-    Keyword arguments are bound with :func:`functools.partial`
-    (``progress`` / ``retry`` / ``unit_timeout`` are reserved names).
+    across an execution backend (``"process"`` pool by default — ``fn``
+    must then be picklable, i.e. module-level; see
+    :mod:`repro.engine.backends`).  ``priorities`` (one cost estimate per
+    item) dispatches pending units longest-first without affecting result
+    order.  Keyword arguments are bound with :func:`functools.partial`
+    (``progress`` / ``retry`` / ``unit_timeout`` / ``backend`` /
+    ``priorities`` are reserved names).
 
     Each unit's metrics are collected in the worker and merged into the
     caller's current registry in submission order — totals are identical
@@ -502,7 +267,8 @@ def parallel_map(
     :func:`resilient_map` to capture failures instead of raising.
     """
     results = _map_core(
-        fn, items, workers, progress, retry, unit_timeout, True, RunErrors(), kwargs
+        fn, items, workers, progress, retry, unit_timeout, True, RunErrors(), kwargs,
+        backend=backend, priorities=priorities,
     )
     return cast(List[R], results)
 
@@ -515,6 +281,8 @@ def resilient_map(
     retry: Optional[RetryPolicy] = None,
     unit_timeout: Optional[float] = None,
     errors: Optional[RunErrors] = None,
+    backend: BackendSpec = None,
+    priorities: Optional[Sequence[float]] = None,
     **kwargs: Any,
 ) -> Tuple[List[Optional[R]], RunErrors]:
     """:func:`parallel_map` that captures unit failures instead of raising.
@@ -525,7 +293,10 @@ def resilient_map(
     (appended to the caller-provided ``errors`` when given).
     """
     errs = errors if errors is not None else RunErrors()
-    results = _map_core(fn, items, workers, progress, retry, unit_timeout, False, errs, kwargs)
+    results = _map_core(
+        fn, items, workers, progress, retry, unit_timeout, False, errs, kwargs,
+        backend=backend, priorities=priorities,
+    )
     return cast(List[Optional[R]], results), errs
 
 
@@ -621,7 +392,7 @@ def _fold_chunks(
 
 
 def _fold_file(
-    path: str,
+    unit: Union[str, WorkUnit],
     analyzers: Sequence[Analyzer],
     fmt: str,
     chunk_size: int,
@@ -629,7 +400,12 @@ def _fold_file(
     store: Optional["StoreConfig"] = None,
     plan: Optional[QueryPlan] = None,
 ) -> Tuple[_StateMap, Optional[ParseErrors]]:
-    """Worker unit: fold one trace file (all analyzers, one parse).
+    """Worker unit: fold one trace file — or one range sub-unit of one.
+
+    ``unit`` is either a path (whole file) or a
+    :class:`~repro.engine.units.WorkUnit` (a row or byte range of one
+    file, produced by :func:`~repro.engine.units.plan_units`); both yield
+    the same chunk stream shape, so the fold is identical.
 
     Under a non-strict error policy malformed lines are dropped at parse
     time and accounted in the returned :class:`ParseErrors` (None when
@@ -641,13 +417,13 @@ def _fold_file(
     """
     verifying = store is not None and store.verify
     if on_error == ON_ERROR_STRICT and not verifying:
-        chunks = iter_chunks(path, fmt=fmt, chunk_size=chunk_size, store=store, plan=plan)
+        chunks = unit_chunks(unit, fmt=fmt, chunk_size=chunk_size, store=store, plan=plan)
         return _fold_chunks(analyzers, chunks, plan), None
     parse_errors = ParseErrors()
     states = _fold_chunks(
         analyzers,
-        iter_chunks(
-            path, fmt=fmt, chunk_size=chunk_size, on_error=on_error,
+        unit_chunks(
+            unit, fmt=fmt, chunk_size=chunk_size, on_error=on_error,
             errors=parse_errors, store=store, plan=plan,
         ),
         plan,
@@ -734,6 +510,8 @@ def run_files(
     store: Optional["StoreConfig"] = None,
     predicate: Optional[RowPredicate] = None,
     checkpoint: Optional[CheckpointConfig] = None,
+    split_rows: int = 0,
+    backend: BackendSpec = None,
 ) -> EngineResult:
     """Run analyzers over trace files, one parse per file.
 
@@ -743,6 +521,19 @@ def run_files(
     volume spans several files (sorted directory listings satisfy this for
     the repo's writers).  ``progress(done, total)`` fires per terminal
     unit (see :func:`parallel_map`).
+
+    Scheduling: units always dispatch longest-estimated-first (file bytes
+    cold, manifest rows warm).  With ``split_rows > 0`` a file expected
+    to exceed that many rows is additionally split into range sub-units
+    (:func:`~repro.engine.units.plan_units`) so one giant file cannot
+    serialize the fan-out; sub-unit partials merge in ascending range
+    order inside the file's canonical slot.  Exact fold results
+    (counters, totals, register-max sketches) are split-invariant;
+    capacity-bounded sketches (reservoirs, top-k) are deterministic for a
+    *fixed* split configuration — see DESIGN.md for the contract.
+    ``backend`` selects the execution backend (``"auto"``/None,
+    ``"serial"``, ``"process"``, or an
+    :class:`~repro.engine.backends.ExecutionBackend` instance).
 
     Fault tolerance: ``on_error`` governs malformed lines (see
     :mod:`repro.resilience`) and, when non-strict, also tolerates units
@@ -774,14 +565,23 @@ def run_files(
     paths = list(paths)
     plan = plan_for(analyzers, predicate)
     errors = RunErrors(policy=on_error)
+    units: List[Union[str, WorkUnit]]
+    if split_rows > 0:
+        units, priorities = plan_units(
+            paths, fmt=fmt, chunk_size=chunk_size, split_rows=split_rows,
+            store=store, on_error=on_error,
+        )
+    else:
+        units = list(paths)
+        priorities = [file_cost(p) for p in paths]
     checkpointer = (
-        Checkpointer(checkpoint, [os.path.abspath(p) for p in paths])
+        Checkpointer(checkpoint, [checkpoint_key(u) for u in units])
         if checkpoint is not None
         else None
     )
     pairs = _map_core(
         _fold_file,
-        paths,
+        units,
         workers,
         progress,
         retry,
@@ -797,6 +597,8 @@ def run_files(
             "plan": plan,
         },
         checkpoint=checkpointer,
+        backend=backend,
+        priorities=priorities,
     )
     state_parts: List[_StateMap] = []
     for pair in pairs:
@@ -807,7 +609,7 @@ def run_files(
             errors.absorb_parse(parse_errors)
         state_parts.append(states)
     merged = _merge_states(analyzers, state_parts)
-    result = _finalize(analyzers, merged, len(paths), workers, chunk_size, errors)
+    result = _finalize(analyzers, merged, len(units), workers, chunk_size, errors)
     if checkpointer is not None and not result.errors.failed_units:
         checkpointer.clear()
     return result
@@ -823,6 +625,7 @@ def run_dataset(
     retry: Optional[RetryPolicy] = None,
     unit_timeout: Optional[float] = None,
     predicate: Optional[RowPredicate] = None,
+    backend: BackendSpec = None,
 ) -> EngineResult:
     """Run analyzers over an in-memory dataset, one volume per unit.
 
@@ -830,7 +633,9 @@ def run_dataset(
     parsed), but a non-strict ``on_error`` still tolerates permanently
     failed units, and ``retry`` / ``unit_timeout`` govern recovery.
     ``predicate`` prunes rows like :func:`run_files` does (a volume the
-    predicate excludes is not even dispatched as a unit).
+    predicate excludes is not even dispatched as a unit).  Volumes
+    dispatch biggest-first (row counts are exact here); the merge keeps
+    sorted volume order.
     """
     on_error = validate_on_error(on_error)
     plan = plan_for(analyzers, predicate)
@@ -848,6 +653,8 @@ def run_dataset(
         on_error == ON_ERROR_STRICT,
         errors,
         {"analyzers": list(analyzers), "chunk_size": chunk_size, "plan": plan},
+        backend=backend,
+        priorities=[float(len(v)) for v in volumes],
     )
     state_parts = [states for states in partials if states is not None]
     merged = _merge_states(analyzers, state_parts)
@@ -867,6 +674,8 @@ def run(
     store: Optional["StoreConfig"] = None,
     predicate: Optional[RowPredicate] = None,
     checkpoint: Optional[CheckpointConfig] = None,
+    split_rows: int = 0,
+    backend: BackendSpec = None,
 ) -> EngineResult:
     """Run analyzers over a trace directory, file list, or dataset.
 
@@ -899,11 +708,18 @@ def run(
             :class:`~repro.resilience.CheckpointConfig` for durable runs
             over path sources (in-memory datasets have no stable on-disk
             unit identity and are not checkpointed).
+        split_rows: split path-source files expected to exceed this many
+            rows into range sub-units (``0`` disables; ignored for
+            datasets, whose units are per-volume already).
+        backend: execution backend — ``None``/``"auto"`` (process pool
+            when it pays off), ``"serial"``, ``"process"``, or an
+            :class:`~repro.engine.backends.ExecutionBackend` instance.
     """
     if isinstance(source, TraceDataset):
         return run_dataset(
             source, analyzers, chunk_size=chunk_size, workers=workers, progress=progress,
             on_error=on_error, retry=retry, unit_timeout=unit_timeout, predicate=predicate,
+            backend=backend,
         )
     if isinstance(source, str):
         source = list_trace_files(source)
@@ -911,4 +727,5 @@ def run(
         source, analyzers, fmt=fmt, chunk_size=chunk_size, workers=workers,
         progress=progress, on_error=on_error, retry=retry, unit_timeout=unit_timeout,
         store=store, predicate=predicate, checkpoint=checkpoint,
+        split_rows=split_rows, backend=backend,
     )

@@ -21,6 +21,13 @@ to break:
   or an in-process re-execution recovers them.
 * **slow units** — units matching ``slow_units`` sleep ``slow_seconds``
   while ``attempt <= slow_attempts``, for exercising ``unit_timeout``.
+
+Unit indices and labels address *scheduled* units — with ``--split-rows``
+each range sub-unit is its own target (labels like
+``trace.csv[rows:0:250000]``, indices in canonical file-then-range
+order), so a plan written for an unsplit run targets different work when
+splitting is on.  The scheduling tests lean on this to manufacture skew:
+sleeping sub-units parallelize, a sleeping whole file cannot.
 * **parent kills** — ``kill_parent_after_units`` takes down the *parent*
   process (the run driver itself) once that many units have completed,
   with ``kill_parent_signal`` choosing SIGKILL/SIGTERM/SIGINT; the

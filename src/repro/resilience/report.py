@@ -55,11 +55,16 @@ def unit_label(item: Any) -> str:
     """A short, stable label for one unit of work.
 
     File paths label as their basename (stable across temp directories),
-    in-memory volumes as their volume id; anything else falls back to the
-    type name plus index-free ``repr`` truncation.
+    range sub-units as their own ``unit_label`` (basename plus range,
+    e.g. ``trace.csv[rows:0:250000]``), in-memory volumes as their volume
+    id; anything else falls back to the type name plus index-free
+    ``repr`` truncation.
     """
     if isinstance(item, str):
         return os.path.basename(item) or item
+    own = getattr(item, "unit_label", None)
+    if isinstance(own, str):
+        return own
     volume_id = getattr(item, "volume_id", None)
     if volume_id is not None:
         return str(volume_id)

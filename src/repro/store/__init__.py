@@ -49,6 +49,7 @@ from .manifest import (
     SourceStamp,
     ZoneMaps,
     ZoneStats,
+    aligned_row_splits,
     compatible_policy,
     entry_dir,
     segment_files,
@@ -61,6 +62,7 @@ from .reader import (
     StoreEntry,
     entry_status,
     serve_chunks,
+    serve_range,
     try_serve,
 )
 from .scrub import (
@@ -85,6 +87,7 @@ __all__ = [
     "SourceStamp",
     "ZoneMaps",
     "ZoneStats",
+    "aligned_row_splits",
     "compatible_policy",
     "entry_dir",
     "segment_files",
@@ -99,6 +102,7 @@ __all__ = [
     "StoreEntry",
     "entry_status",
     "serve_chunks",
+    "serve_range",
     "try_serve",
     "EntryIssue",
     "EntryReport",

@@ -364,11 +364,14 @@ def ingest_dir(
     """Ingest every trace file of a directory (``repro ingest``).
 
     Files fan out across ``workers`` processes; each worker parses and
-    writes its own entries, so nothing large crosses the pool.  Reports
-    come back in sorted-path order regardless of completion order.
+    writes its own entries, so nothing large crosses the pool.  Files
+    dispatch biggest-first (LPT — the largest parse can't land last and
+    serialize the tail of the ingest); reports come back in sorted-path
+    order regardless of completion or dispatch order.
     """
     from ..engine.chunks import list_trace_files
     from ..engine.runner import parallel_map
+    from ..engine.units import file_cost
 
     files = list_trace_files(directory)
     return list(
@@ -377,6 +380,7 @@ def ingest_dir(
             files,
             workers,
             progress=progress,
+            priorities=[file_cost(f) for f in files],
             fmt=fmt,
             store_dir=store_dir,
             chunk_size=chunk_size,

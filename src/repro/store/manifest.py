@@ -48,6 +48,7 @@ __all__ = [
     "ZoneMaps",
     "ZoneStats",
     "Manifest",
+    "aligned_row_splits",
     "entry_dir",
     "segment_files",
     "compatible_policy",
@@ -151,6 +152,23 @@ class ZoneMaps:
             n_rows=sum(self.n_rows[zi0:zi1]),
             n_writes=sum(self.n_writes[zi0:zi1]),
         )
+
+
+def aligned_row_splits(n_rows: int, split_rows: int, zone_rows: int) -> List[int]:
+    """Interior row boundaries splitting ``[0, n_rows)`` into ~``split_rows``
+    pieces, snapped to ``zone_rows`` multiples.
+
+    Boundaries on zone-span edges keep :meth:`ZoneMaps.window` bounds over
+    a sub-range exactly as tight as over whole-file chunking (a window
+    never has to include a zone the range only grazes).  Returns ``[]``
+    when the range fits in one piece or ``split_rows`` is off (<= 0).
+    """
+    if split_rows <= 0 or n_rows <= split_rows:
+        return []
+    step = split_rows
+    if zone_rows > 0:
+        step = max(1, round(split_rows / zone_rows)) * zone_rows
+    return list(range(step, n_rows, step))
 
 
 @dataclass(frozen=True)

@@ -56,6 +56,7 @@ __all__ = [
     "StoreEntry",
     "entry_status",
     "serve_chunks",
+    "serve_range",
     "try_serve",
 ]
 
@@ -178,41 +179,80 @@ def serve_chunks(
 ) -> Iterator["Chunk"]:
     """Yield the entry's rows as the text path's exact chunk stream.
 
+    Equivalent to :func:`serve_range` over the whole entry — see there
+    for the serving semantics and determinism caveats.
+    """
+    return serve_range(
+        entry, 0, entry.manifest.n_rows, chunk_size, on_error, errors, plan=plan
+    )
+
+
+def serve_range(
+    entry: StoreEntry,
+    lo: int,
+    hi: int,
+    chunk_size: int,
+    on_error: str = ON_ERROR_STRICT,
+    errors: Optional[ParseErrors] = None,
+    plan: Optional[QueryPlan] = None,
+) -> Iterator["Chunk"]:
+    """Yield file-order rows ``[lo, hi)`` of the entry as a chunk stream.
+
+    The engine's unit-splitting serve path (and, over the full range, the
+    body of :func:`serve_chunks`): only the requested rows are ever
+    sliced off the mmap, so a sub-unit's cost is proportional to its
+    range, not the file.  ``hi`` is clamped to the entry's row count and
+    the range served in ``chunk_size`` batches from ``lo``.
+
     Single-volume entries yield read-only mmap *views* (zero copy);
     multi-volume entries replicate the text path's stable volume-sorted
     batch split (one fancy-indexed copy per chunk, same as text parsing).
 
     With a ``plan``, only the plan's columns are ``np.load``-ed at all
     (pruned columns never touch the page cache) and the predicate prunes
-    rows *before* materialization: whole entries and chunks the zone
+    rows *before* materialization: disjoint entries and chunks the zone
     maps prove disjoint are skipped unread
     (``plan.files_skipped`` / ``plan.chunks_skipped``), surviving chunks
     are masked with deferred copies, and the served row streams equal
     the unpruned stream post-filtered.
 
-    One caveat on entries with dropped malformed lines: the text path
-    batches ``chunk_size`` raw *lines* (so a batch shrinks by however
-    many it dropped) while the store batches ``chunk_size`` surviving
-    *rows* — chunk boundaries can differ, but the per-volume row streams
-    (the only thing analyzers fold) are bit-identical either way, as are
-    the replayed error ledgers.  Clean entries match boundary-for-boundary.
+    Range accounting: metrics and ledgers that describe the *file* are
+    charged to the sub-range that owns row 0 exactly once — the dropped-
+    line ledger replays and ``plan.files_skipped`` counts only when
+    ``lo == 0`` — while per-serve metrics (``store.hits`` per serve,
+    ``store.rows`` by ``hi - lo``) accumulate to the same totals as one
+    whole-file serve.
+
+    Determinism caveats: on entries with dropped malformed lines the text
+    path batches ``chunk_size`` raw *lines* while the store batches
+    ``chunk_size`` surviving *rows* — chunk boundaries can differ, but
+    the per-volume row streams (the only thing analyzers fold) are
+    bit-identical either way, as are the replayed error ledgers; clean
+    whole-file serves match boundary-for-boundary.  Range serves batch
+    from ``lo``, so their boundaries differ from a whole-file serve by
+    construction — same row streams, different chunking (see DESIGN.md
+    on what that means for capacity-bounded sketches).
     """
     from ..engine.chunks import Chunk
 
     manifest = entry.manifest
     reg = metrics.get_registry()
-    _replay_ledger(manifest, on_error, errors)
+    lo = max(0, int(lo))
+    hi = min(int(hi), manifest.n_rows)
+    if lo == 0:
+        _replay_ledger(manifest, on_error, errors)
     reg.counter("store.hits").inc()
-    reg.counter("store.rows").inc(manifest.n_rows)
-    if manifest.n_rows == 0:
+    reg.counter("store.rows").inc(max(0, hi - lo))
+    if hi <= lo:
         return
     if plan is not None and plan.is_noop():
         plan = None
     predicate = plan.predicate if plan is not None else None
     n = manifest.n_rows
     if predicate is not None and _entry_disjoint(manifest, predicate):
-        reg.counter("plan.files_skipped").inc()
-        reg.counter("plan.rows_pruned").inc(n)
+        if lo == 0:
+            reg.counter("plan.files_skipped").inc()
+        reg.counter("plan.rows_pruned").inc(hi - lo)
         return
 
     wanted = plan.load_columns() if plan is not None else None
@@ -254,24 +294,24 @@ def serve_chunks(
 
     if not manifest.has_codes:
         volume_id = manifest.volumes[0]
-        for lo in range(0, n, chunk_size):
-            hi = min(lo + chunk_size, n)
-            if predicate is not None and not _zone_allows(zones, lo, hi, predicate):
+        for b_lo in range(lo, hi, chunk_size):
+            b_hi = min(b_lo + chunk_size, hi)
+            if predicate is not None and not _zone_allows(zones, b_lo, b_hi, predicate):
                 chunks_skipped.inc()
-                rows_pruned.inc(hi - lo)
+                rows_pruned.inc(b_hi - b_lo)
                 continue
-            mask = batch_mask(lo, hi) if predicate is not None else None
-            kept = hi - lo
+            mask = batch_mask(b_lo, b_hi) if predicate is not None else None
+            kept = b_hi - b_lo
             if mask is not None:
                 kept = int(np.count_nonzero(mask))
                 if kept == 0:
                     chunks_skipped.inc()
-                    rows_pruned.inc(hi - lo)
+                    rows_pruned.inc(b_hi - b_lo)
                     continue
-                if kept == hi - lo:
+                if kept == b_hi - b_lo:
                     mask = None
                 else:
-                    rows_pruned.inc(hi - lo - kept)
+                    rows_pruned.inc(b_hi - b_lo - kept)
             chunks_total.inc()
             if plan is not None:
                 rows_served.inc(kept)
@@ -282,7 +322,7 @@ def serve_chunks(
                     volume_id,
                     n_rows=kept,
                     **{
-                        name: None if arr is None else arr[lo:hi]
+                        name: None if arr is None else arr[b_lo:b_hi]
                         for name, arr in cols.items()
                     },
                 )
@@ -291,7 +331,7 @@ def serve_chunks(
                     volume_id,
                     n_rows=kept,
                     **{
-                        name: None if arr is None else _lazy_masked(arr, lo, hi, mask)
+                        name: None if arr is None else _lazy_masked(arr, b_lo, b_hi, mask)
                         for name, arr in cols.items()
                     },
                 )
@@ -312,16 +352,17 @@ def serve_chunks(
         if spans:
             row_lo = min(span[0] for span in spans)
             row_hi = max(span[1] for span in spans) + 1
-    for lo in range(0, n, chunk_size):
-        hi = min(lo + chunk_size, n)
+    for b_lo in range(lo, hi, chunk_size):
+        b_hi = min(b_lo + chunk_size, hi)
         if predicate is not None and (
-            hi <= row_lo or lo >= row_hi or not _zone_allows(zones, lo, hi, predicate)
+            b_hi <= row_lo or b_lo >= row_hi
+            or not _zone_allows(zones, b_lo, b_hi, predicate)
         ):
             chunks_skipped.inc()
-            rows_pruned.inc(hi - lo)
+            rows_pruned.inc(b_hi - b_lo)
             continue
-        batch = np.asarray(codes[lo:hi])
-        keep = batch_mask(lo, hi) if predicate is not None else None
+        batch = np.asarray(codes[b_lo:b_hi])
+        keep = batch_mask(b_lo, b_hi) if predicate is not None else None
         if allowed is not None:
             vmask = allowed[batch]
             keep = vmask if keep is None else keep & vmask
@@ -329,9 +370,9 @@ def serve_chunks(
             kept_rows = int(np.count_nonzero(keep))
             if kept_rows == 0:
                 chunks_skipped.inc()
-                rows_pruned.inc(hi - lo)
+                rows_pruned.inc(b_hi - b_lo)
                 continue
-            rows_pruned.inc(hi - lo - kept_rows)
+            rows_pruned.inc(b_hi - b_lo - kept_rows)
         order = np.argsort(batch, kind="stable")
         sorted_codes = batch[order]
         boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
@@ -342,7 +383,7 @@ def serve_chunks(
                 if len(seg) == 0:
                     chunks_skipped.inc()
                     continue
-            idx = seg + lo
+            idx = seg + b_lo
             chunks_total.inc()
             if plan is not None:
                 rows_served.inc(len(seg))
@@ -404,6 +445,7 @@ def try_serve(
     errors: Optional[ParseErrors],
     store: StoreConfig,
     plan: Optional[QueryPlan] = None,
+    row_range: Optional[Tuple[int, int]] = None,
 ) -> Optional[Iterator["Chunk"]]:
     """The engine's store fast path: serve, build-then-serve, or decline.
 
@@ -413,6 +455,15 @@ def try_serve(
     file raises the parser's exact ``TraceFormatError`` — the same
     behavior, message, and line number as the text path.  ``plan`` (when
     given) is pushed down into :func:`serve_chunks`.
+
+    With ``row_range`` set, only file-order rows ``[lo, hi)`` are served
+    (:func:`serve_range` — the engine's split sub-units).  The entry
+    acquisition is identical — verify, self-heal, build on miss — so a
+    sub-unit is exactly as durable as a whole-file serve; with
+    ``store.verify``, each sub-unit of a file re-verifies the entry it
+    serves from.  ``None`` still means "no servable entry", and a range
+    caller has no text fallback (row coordinates exist only in store
+    space) — it must treat ``None`` as an error.
 
     With ``store.verify`` set, a fresh entry is deep-verified (sha256
     per segment) before anything trusts its mmap.  A corrupt entry is
@@ -424,6 +475,14 @@ def try_serve(
     """
     from .builder import build_entry
 
+    def serve(loaded: StoreEntry) -> Iterator["Chunk"]:
+        if row_range is not None:
+            return serve_range(
+                loaded, row_range[0], row_range[1], chunk_size, on_error, errors,
+                plan=plan,
+            )
+        return serve_chunks(loaded, chunk_size, on_error, errors, plan=plan)
+
     reg = metrics.get_registry()
     status, entry = entry_status(path, store, fmt, skip_header, on_error)
     corruption: Optional[StoreCorruption] = None
@@ -432,11 +491,11 @@ def try_serve(
             issues = verify_entry(entry.entry, entry.manifest, deep=True)
             if not issues:
                 reg.counter("store.entries_verified").inc()
-                return serve_chunks(entry, chunk_size, on_error, errors, plan=plan)
+                return serve(entry)
             corruption = _quarantine_entry(entry, issues)
             # Fall through: a quarantined entry is now a rebuildable miss.
         else:
-            return serve_chunks(entry, chunk_size, on_error, errors, plan=plan)
+            return serve(entry)
     if corruption is None:
         reg.counter("store.misses").inc()
         if status == ENTRY_STALE:
@@ -469,4 +528,4 @@ def try_serve(
         # A concurrent builder won the swap race with a policy we cannot
         # serve; parsing text is always correct.
         return None
-    return serve_chunks(built, chunk_size, on_error, errors, plan=plan)
+    return serve(built)
